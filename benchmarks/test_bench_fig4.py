@@ -1,0 +1,59 @@
+"""Benchmarks regenerating Figure 4: candidate ratio |C|/|D|.
+
+Each benchmark times one cold-buffer query execution and records the
+candidate ratio (the figure's y-value) in ``extra_info``, so running::
+
+    pytest benchmarks/test_bench_fig4.py --benchmark-only \
+        --benchmark-columns=mean --benchmark-sort=name -q
+
+prints the paper's series: Fig 4(a) sweeps |Q| on NA, Fig 4(b) sweeps
+the object density ω on NA, Fig 4(c) sweeps the network density
+(CA → AU → NA).
+"""
+
+import pytest
+
+from repro.core import CE, EDC, LBC
+
+from conftest import attach_stats, run_cold
+
+ALGORITHMS = {"CE": CE, "EDC": EDC, "LBC": LBC}
+
+
+@pytest.mark.parametrize("q", [2, 4, 8], ids=lambda q: f"Q{q}")
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig4a_candidates_vs_q(benchmark, workloads, algo, q):
+    """Fig 4(a): candidate ratio vs |Q| (ω = 50 %, NA)."""
+    workspace = workloads.workspace("NA", 0.50)
+    queries = workloads.queries("NA", q)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)
+
+
+@pytest.mark.parametrize("omega", [0.05, 0.50, 2.00], ids=lambda w: f"w{int(w*100)}")
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig4b_candidates_vs_omega(benchmark, workloads, algo, omega):
+    """Fig 4(b): candidate ratio vs ω (|Q| = 4, NA)."""
+    workspace = workloads.workspace("NA", omega)
+    queries = workloads.queries("NA", 4)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)
+
+
+@pytest.mark.parametrize("network", ["CA", "AU", "NA"], ids=str)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig4c_candidates_vs_density(benchmark, workloads, algo, network):
+    """Fig 4(c): candidate ratio vs network density (|Q|=4, ω=50 %)."""
+    workspace = workloads.workspace(network, 0.50)
+    queries = workloads.queries(network, 4)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating Figure 5: cost vs network density.
+
+One cold-buffer query per (algorithm, network) point, |Q| = 4, ω = 50 %.
+``extra_info`` carries the three panels' y-values:
+
+* ``network_pages``      — Fig 5(a), network disk pages accessed;
+* ``modeled_total_s``    — Fig 5(b), total response time;
+* ``modeled_initial_s``  — Fig 5(c), initial response time.
+
+Expected shape (the paper's): every metric rises with density; CE rises
+fastest; LBC is lowest everywhere, with a near-immediate first result.
+"""
+
+import pytest
+
+from repro.core import CE, EDC, LBC
+
+from conftest import attach_stats, run_cold
+
+ALGORITHMS = {"CE": CE, "EDC": EDC, "LBC": LBC}
+
+
+@pytest.mark.parametrize("network", ["CA", "AU", "NA"], ids=str)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig5_cost_vs_density(benchmark, workloads, algo, network):
+    """Figs 5(a)-(c): pages / total / initial response vs density."""
+    workspace = workloads.workspace(network, 0.50)
+    queries = workloads.queries(network, 4)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)

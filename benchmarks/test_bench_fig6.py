@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Figure 6: sweeps over |Q| and ω on NA.
+
+``extra_info`` carries the panels' y-values:
+
+* Figs 6(a)/(d): ``network_pages``;
+* Figs 6(b)/(e): ``modeled_total_s``;
+* Figs 6(c)/(f): ``modeled_initial_s``.
+
+Expected shape: roughly linear growth in |Q| for every algorithm (LBC's
+initial response stays flat — it only involves the source query point);
+near-flat behaviour in ω (object density is not a major cost factor).
+"""
+
+import pytest
+
+from repro.core import CE, EDC, LBC
+
+from conftest import attach_stats, run_cold
+
+ALGORITHMS = {"CE": CE, "EDC": EDC, "LBC": LBC}
+
+
+@pytest.mark.parametrize("q", [2, 4, 8, 15], ids=lambda q: f"Q{q}")
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig6abc_cost_vs_q(benchmark, workloads, algo, q):
+    """Figs 6(a)-(c): pages / total / initial response vs |Q| (ω=50 %)."""
+    workspace = workloads.workspace("NA", 0.50)
+    queries = workloads.queries("NA", q)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)
+
+
+@pytest.mark.parametrize(
+    "omega", [0.05, 0.20, 0.50, 1.00, 2.00], ids=lambda w: f"w{int(w*100)}"
+)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS), ids=str)
+def test_fig6def_cost_vs_omega(benchmark, workloads, algo, omega):
+    """Figs 6(d)-(f): pages / total / initial response vs ω (|Q|=4)."""
+    workspace = workloads.workspace("NA", omega)
+    queries = workloads.queries("NA", 4)
+    algorithm = ALGORITHMS[algo]()
+    result = benchmark.pedantic(
+        run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+    )
+    attach_stats(benchmark, result)

@@ -1,0 +1,230 @@
+r"""Micro-benchmarks and ablations for the design choices DESIGN.md lists.
+
+* **plb ablation** — LBC with vs without path-distance lower bounds
+  (the latter computes full distances per candidate, EDC-style);
+  isolates the second idea of Section 4.3.
+* **A\* vs Dijkstra** — point-to-point distance computation cost, the
+  paper's explanation for EDC beating CE on response time (Section 6.3).
+* **buffer sensitivity** — network page misses under shrinking LRU
+  buffers (the paper's CE-thrashing effect).
+* **substrate ops** — R-tree NN streaming and B+-tree probes, the
+  per-operation costs everything above is built from.
+"""
+
+import pytest
+
+from repro.core import LBC
+from repro.network import AStarExpander, DijkstraExpander, NetworkStore
+
+from conftest import attach_stats, run_cold
+
+
+class TestPlbAblation:
+    @pytest.mark.parametrize("use_plb", [True, False], ids=["plb", "noplb"])
+    def test_lbc_lower_bound_ablation(self, benchmark, workloads, use_plb):
+        """LBC's partial distance computation vs full per-candidate A*."""
+        workspace = workloads.workspace("NA", 0.50)
+        queries = workloads.queries("NA", 4)
+        algorithm = LBC(use_lower_bounds=use_plb)
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+        )
+        attach_stats(benchmark, result)
+
+
+class TestAStarVsDijkstra:
+    @pytest.mark.parametrize("method", ["astar", "dijkstra"], ids=str)
+    def test_point_to_point_distance(self, benchmark, workloads, method):
+        """One-shot shortest-path cost between two random junctions."""
+        network = workloads.network("AU")
+        queries = workloads.queries("AU", 2, seed=55)
+        source, target = queries
+
+        def compute():
+            if method == "astar":
+                expander = AStarExpander(network, source)
+                distance = expander.distance_to(target)
+            else:
+                expander = DijkstraExpander(network, source)
+                distance = expander.distance_to(target)
+            return expander.nodes_settled, distance
+
+        nodes, _ = benchmark(compute)
+        benchmark.extra_info["nodes_settled"] = nodes
+
+
+class TestBufferSensitivity:
+    @pytest.mark.parametrize(
+        "buffer_kib", [64, 128, 256, 1024], ids=lambda k: f"{k}KiB"
+    )
+    def test_ce_page_misses_vs_buffer(self, benchmark, workloads, buffer_kib):
+        """CE's thrashing under shrinking buffers (LBC barely moves)."""
+        from repro.core import CE, Workspace
+
+        network = workloads.network("NA")
+        objects = workloads.workspace("NA", 0.50).objects
+        workspace = Workspace.build(
+            network, objects, paged=True, buffer_bytes=buffer_kib * 1024
+        )
+        queries = workloads.queries("NA", 4)
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, CE(), queries), rounds=1, iterations=1
+        )
+        attach_stats(benchmark, result)
+
+
+class TestSubstrateOps:
+    def test_rtree_nearest_stream(self, benchmark, workloads):
+        """Streaming the 100 nearest objects from the NA object R-tree."""
+        workspace = workloads.workspace("NA", 0.50)
+        anchor = workloads.queries("NA", 1)[0].point
+
+        def stream():
+            out = []
+            for _, _, payload in workspace.object_rtree.nearest(anchor):
+                out.append(payload)
+                if len(out) >= 100:
+                    break
+            return out
+
+        result = benchmark(stream)
+        assert len(result) == 100
+
+    def test_middle_layer_probe(self, benchmark, workloads):
+        """One B+-tree probe of the middle layer (hot buffer)."""
+        workspace = workloads.workspace("NA", 0.50)
+        edge_ids = sorted(workspace.network.edge_ids())[:200]
+
+        def probe():
+            hits = 0
+            for edge_id in edge_ids:
+                hits += len(workspace.middle.objects_on(edge_id))
+            return hits
+
+        benchmark(probe)
+
+    def test_network_store_build(self, benchmark, workloads):
+        """Hilbert clustering cost for the AU network."""
+        network = workloads.network("AU")
+        benchmark.pedantic(
+            NetworkStore, args=(network,), rounds=2, iterations=1
+        )
+
+    def test_dijkstra_full_expansion(self, benchmark, workloads):
+        """A complete single-source expansion of the AU network."""
+        network = workloads.network("AU")
+        source = workloads.queries("AU", 1, seed=66)[0]
+
+        def expand():
+            expander = DijkstraExpander(network, source)
+            while expander.expand_next() is not None:
+                pass
+            return expander.nodes_settled
+
+        nodes = benchmark(expand)
+        benchmark.extra_info["nodes_settled"] = nodes
+
+
+class TestAggregateNNExtension:
+    """The conclusion's plb transfer: aggregate NN with vs without it."""
+
+    @pytest.mark.parametrize("variant", ["baseline", "lowerbound"], ids=str)
+    @pytest.mark.parametrize("aggregate", ["sum", "max"], ids=str)
+    def test_aggregate_nn(self, benchmark, workloads, variant, aggregate):
+        from repro.extensions import AggregateNNBaseline, AggregateNNLowerBound
+
+        workspace = workloads.workspace("AU", 0.50)
+        queries = workloads.queries("AU", 4)
+        if variant == "baseline":
+            processor = AggregateNNBaseline(aggregate)
+        else:
+            processor = AggregateNNLowerBound(aggregate)
+
+        def run():
+            workspace.reset_io(cold=True)
+            return processor.run(workspace, queries, k=3)
+
+        result = benchmark.pedantic(run, rounds=2, iterations=1)
+        benchmark.extra_info.update(
+            {
+                "nodes_settled": result.nodes_settled,
+                "distance_computations": result.distance_computations,
+                "lb_expansions": result.lb_expansions,
+            }
+        )
+
+
+class TestLandmarkHeuristic:
+    """ALT lower bounds vs the Euclidean heuristic (sparse network)."""
+
+    @pytest.mark.parametrize("heuristic", ["euclid", "landmarks"], ids=str)
+    def test_lbc_heuristic_comparison(self, benchmark, workloads, heuristic):
+        from repro.network import LandmarkHeuristic
+
+        workspace = workloads.workspace("CA", 0.50)
+        queries = workloads.queries("CA", 4)
+        if heuristic == "landmarks":
+            guide = LandmarkHeuristic(workspace.network, count=8, seed=1)
+            algorithm = LBC(heuristic=guide)
+        else:
+            algorithm = LBC()
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+        )
+        attach_stats(benchmark, result)
+
+
+class TestReplacementPolicy:
+    """Page-replacement ablation: LRU (the paper's) vs FIFO vs CLOCK."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "clock"], ids=str)
+    def test_ce_under_policy(self, benchmark, workloads, policy):
+        from repro.core import CE, Workspace
+
+        network = workloads.network("NA")
+        objects = workloads.workspace("NA", 0.50).objects
+        workspace = Workspace.build(
+            network,
+            objects,
+            paged=True,
+            buffer_bytes=128 * 1024,
+            buffer_policy=policy,
+        )
+        queries = workloads.queries("NA", 4)
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, CE(), queries), rounds=1, iterations=1
+        )
+        attach_stats(benchmark, result)
+
+
+class TestLazySourceBound:
+    """LBC vs LBC-lazy: lazily bounding the source dimension (ours)."""
+
+    @pytest.mark.parametrize("variant", ["eager", "lazy"], ids=str)
+    @pytest.mark.parametrize("network", ["CA", "NA"], ids=str)
+    def test_lbc_source_bound_ablation(self, benchmark, workloads, variant, network):
+        from repro.core import LBCLazy
+
+        workspace = workloads.workspace(network, 0.50)
+        queries = workloads.queries(network, 4)
+        algorithm = LBC() if variant == "eager" else LBCLazy()
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+        )
+        attach_stats(benchmark, result)
+
+
+class TestCEStrategy:
+    """CE wavefront alternation: round-robin vs min-radius balancing."""
+
+    @pytest.mark.parametrize("strategy", ["round_robin", "min_radius"], ids=str)
+    def test_ce_strategy(self, benchmark, workloads, strategy):
+        from repro.core import CE
+
+        workspace = workloads.workspace("NA", 0.50)
+        queries = workloads.queries("NA", 4)
+        algorithm = CE(strategy=strategy)
+        result = benchmark.pedantic(
+            run_cold, args=(workspace, algorithm, queries), rounds=2, iterations=1
+        )
+        attach_stats(benchmark, result)

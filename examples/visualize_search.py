@@ -1,0 +1,95 @@
+"""Visualise how much network each algorithm touches.
+
+Renders SVGs openable in any browser: the CE footprint (Dijkstra
+wavefronts around every query point), the LBC footprint (A* cones plus
+lower-bound probes), and the final skyline.  The footprint difference
+IS the paper's result — seeing it beats reading Figure 5.
+
+Run with::
+
+    python examples/visualize_search.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import CE, LBC, Workspace, build_preset, extract_objects
+from repro.datasets import select_query_points
+from repro.viz import NetworkRenderer, render_query, save_svg
+
+
+class RecordingStore:
+    """Wraps the network store and records every junction touched."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.touched: set[int] = set()
+
+    def touch_node(self, node_id):
+        self.touched.add(node_id)
+        self._inner.touch_node(node_id)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def footprint_of(workspace, algorithm, queries) -> set[int]:
+    """Run ``algorithm`` and return the junctions it touched."""
+    recorder = RecordingStore(workspace.store)
+    original = workspace.store
+    workspace.store = recorder
+    try:
+        workspace.reset_io(cold=True)
+        algorithm.run(workspace, queries)
+    finally:
+        workspace.store = original
+    return recorder.touched
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    network = build_preset("NA", scale=0.10)
+    objects = extract_objects(network, omega=0.5, seed=1)
+    workspace = Workspace.build(network, objects)
+    queries = select_query_points(network, 4, seed=100)
+
+    result = LBC().run(workspace, queries)
+    assert CE().run(workspace, queries).same_answer(result)
+
+    from repro.core import LBCLazy
+
+    footprints = {
+        "ce": footprint_of(workspace, CE(), queries),
+        "lbc": footprint_of(workspace, LBC(), queries),
+        "lbc-lazy": footprint_of(workspace, LBCLazy(), queries),
+    }
+
+    for name in footprints:
+        renderer = NetworkRenderer(network)
+        renderer.add_wavefront(footprints[name])
+        renderer.add_objects(workspace.objects)
+        renderer.add_queries(queries)
+        renderer.add_skyline(result)
+        renderer.add_title(
+            f"{name.upper()}: {len(footprints[name])} junctions touched, "
+            f"{len(result)} skyline points"
+        )
+        path = outdir / f"footprint_{name.replace(chr(45), chr(95))}.svg"
+        save_svg(renderer.to_svg(), path)
+        print(f"wrote {path} ({len(footprints[name])} junctions shaded)")
+
+    answer_path = outdir / "skyline.svg"
+    save_svg(render_query(workspace, queries, result), answer_path)
+    print(f"wrote {answer_path}")
+
+    ce_n = len(footprints["ce"])
+    for name in ("lbc", "lbc-lazy"):
+        n = len(footprints[name])
+        if n:
+            print(f"CE touches {ce_n / n:.1f}x the junctions of {name.upper()}")
+
+
+if __name__ == "__main__":
+    main()

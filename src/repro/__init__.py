@@ -1,0 +1,88 @@
+"""repro — multi-source skyline query processing in road networks.
+
+A from-scratch reproduction of Deng, Zhou, Shen, *Multi-source Skyline
+Query Processing in Road Networks* (ICDE 2007): the CE, EDC and LBC
+algorithms, the storage and index substrates they run on, workload
+generators standing in for the paper's road networks, and an experiment
+harness regenerating every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Workspace, LBC, delaunay_road_network, extract_objects,
+        select_query_points,
+    )
+
+    network = delaunay_road_network(node_count=2000, seed=1)
+    objects = extract_objects(network, omega=0.5, seed=2)
+    workspace = Workspace.build(network, objects)
+    queries = select_query_points(network, 3, seed=3)
+    for point in LBC().run(workspace, queries):
+        print(point.obj.object_id, point.vector)
+"""
+
+from repro.core import (
+    ALL_ALGORITHMS,
+    CE,
+    EDC,
+    EDCIncremental,
+    LBC,
+    CollaborativeExpansion,
+    EuclideanDistanceConstraint,
+    EuclideanDistanceConstraintIncremental,
+    LowerBoundConstraint,
+    NaiveSkyline,
+    QueryStats,
+    SkylineAlgorithm,
+    SkylinePoint,
+    SkylineResult,
+    Workspace,
+)
+from repro.datasets import (
+    build_preset,
+    delaunay_road_network,
+    extract_objects,
+    grid_network,
+    select_query_points,
+)
+from repro.geometry import MBR, Point
+from repro.network import (
+    NetworkLocation,
+    ObjectSet,
+    RoadNetwork,
+    SpatialObject,
+    network_distance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "CE",
+    "EDC",
+    "EDCIncremental",
+    "LBC",
+    "MBR",
+    "CollaborativeExpansion",
+    "EuclideanDistanceConstraint",
+    "EuclideanDistanceConstraintIncremental",
+    "LowerBoundConstraint",
+    "NaiveSkyline",
+    "NetworkLocation",
+    "ObjectSet",
+    "Point",
+    "QueryStats",
+    "RoadNetwork",
+    "SkylineAlgorithm",
+    "SkylinePoint",
+    "SkylineResult",
+    "SpatialObject",
+    "Workspace",
+    "build_preset",
+    "delaunay_road_network",
+    "extract_objects",
+    "grid_network",
+    "network_distance",
+    "select_query_points",
+    "__version__",
+]

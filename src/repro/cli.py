@@ -1,0 +1,271 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script (also runnable as
+``python -m repro.cli``).  Subcommands:
+
+* ``generate``   — build a synthetic road network (preset or custom) and
+  write it, optionally with an extracted object set;
+* ``info``       — structural statistics of a network file;
+* ``query``      — run a multi-source skyline query over network/object
+  files, print the answer table, optionally render an SVG;
+* ``route``      — shortest path between two junctions;
+* ``experiment`` — regenerate the paper's figures (thin wrapper around
+  ``python -m repro.experiments``).
+
+Example session::
+
+    repro generate --preset AU --out au.net --objects au.obj --omega 0.5
+    repro info au.net
+    repro query au.net au.obj --query-nodes 12 857 1411 --algorithm LBC
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    CE,
+    EDC,
+    EDCIncremental,
+    LBC,
+    LBCLazy,
+    LBCRoundRobin,
+    NaiveSkyline,
+    Workspace,
+)
+from repro.datasets import (
+    build_preset,
+    delaunay_road_network,
+    estimate_delta,
+    extract_objects,
+    load_network,
+    load_objects,
+    network_density,
+    save_network,
+    save_objects,
+    select_query_points,
+)
+
+ALGORITHMS = {
+    "CE": CE,
+    "EDC": EDC,
+    "EDC-inc": EDCIncremental,
+    "LBC": LBC,
+    "LBC-lazy": LBCLazy,
+    "LBC-rr": LBCRoundRobin,
+    "naive": NaiveSkyline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-source skyline query processing in road networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic network")
+    generate.add_argument("--preset", choices=["CA", "AU", "NA"])
+    generate.add_argument("--nodes", type=int, help="custom generator size")
+    generate.add_argument("--ratio", type=float, default=1.25, help="|E|/|V|")
+    generate.add_argument("--scale", type=float, default=0.10)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="network file to write")
+    generate.add_argument("--objects", help="also write an object file here")
+    generate.add_argument("--omega", type=float, default=0.5)
+
+    info = sub.add_parser("info", help="statistics of a network file")
+    info.add_argument("network")
+    info.add_argument("--delta", action="store_true", help="estimate δ (slow)")
+
+    query = sub.add_parser("query", help="run a skyline query")
+    query.add_argument("network")
+    query.add_argument("objects")
+    query.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="LBC"
+    )
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--query-nodes", type=int, nargs="+", help="junction ids"
+    )
+    group.add_argument(
+        "--random-queries", type=int, help="draw N query junctions"
+    )
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--svg", help="write a picture of the result")
+    query.add_argument("--json", help="write the result as JSON here")
+    query.add_argument(
+        "--stats", action="store_true", help="print cost statistics"
+    )
+
+    route = sub.add_parser("route", help="shortest path between junctions")
+    route.add_argument("network")
+    route.add_argument("origin", type=int)
+    route.add_argument("destination", type=int)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate the paper's figures"
+    )
+    experiment.add_argument("--trials", type=int, default=5)
+    experiment.add_argument("--scale", type=float, default=0.10)
+    experiment.add_argument("--quick", action="store_true")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.preset:
+        network = build_preset(args.preset, scale=args.scale, seed=args.seed)
+    elif args.nodes:
+        network = delaunay_road_network(
+            args.nodes, edge_node_ratio=args.ratio, seed=args.seed
+        )
+    else:
+        print("error: pass --preset or --nodes", file=sys.stderr)
+        return 2
+    save_network(network, args.out)
+    print(
+        f"wrote {args.out}: {network.node_count} junctions, "
+        f"{network.edge_count} edges"
+    )
+    if args.objects:
+        objects = extract_objects(network, omega=args.omega, seed=args.seed + 1)
+        save_objects(objects, args.objects)
+        print(f"wrote {args.objects}: {len(objects)} objects (ω={args.omega})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    network = load_network(args.network)
+    print(f"junctions:      {network.node_count}")
+    print(f"edges:          {network.edge_count}")
+    print(f"|E|/|V|:        {network.edge_count / max(1, network.node_count):.3f}")
+    print(f"total length:   {network.total_length():.3f}")
+    print(f"density:        {network_density(network):.2f}")
+    print(f"connected:      {network.is_connected()}")
+    print(f"detour factor:  {network.average_detour_factor():.3f}")
+    if args.delta:
+        delta = estimate_delta(network, sources=6, targets_per_source=40)
+        print(f"delta (dN/dE):  {delta:.3f}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    network = load_network(args.network)
+    objects = load_objects(network, args.objects)
+    workspace = Workspace.build(network, objects)
+    if args.query_nodes:
+        missing = [n for n in args.query_nodes if not network.has_node(n)]
+        if missing:
+            print(f"error: unknown junction ids {missing}", file=sys.stderr)
+            return 2
+        queries = [network.location_at_node(n) for n in args.query_nodes]
+    else:
+        queries = select_query_points(
+            network, args.random_queries, seed=args.seed
+        )
+        print(
+            "query junctions:",
+            " ".join(str(q.node_id) for q in queries),
+        )
+    algorithm = ALGORITHMS[args.algorithm]()
+    result = algorithm.run(workspace, queries)
+
+    header = ["object"] + [f"d(q{i})" for i in range(len(queries))]
+    if workspace.attribute_count:
+        header += [f"attr{j}" for j in range(workspace.attribute_count)]
+    print("  ".join(f"{h:>10s}" for h in header))
+    for point in result:
+        cells = [f"{point.obj.object_id:>10d}"]
+        cells += [f"{v:>10.4f}" for v in point.vector]
+        print("  ".join(cells))
+    print(f"\n{len(result)} skyline points ({algorithm.name})")
+    if args.stats:
+        s = result.stats
+        print(
+            f"candidates={s.candidate_count} nodes={s.nodes_settled} "
+            f"net_pages={s.network_pages} idx_pages={s.index_pages} "
+            f"mid_pages={s.middle_pages} t={s.total_response_s:.4f}s "
+            f"t_first={s.initial_response_s:.4f}s"
+        )
+    if args.svg:
+        from repro.viz import render_query, save_svg
+
+        save_svg(render_query(workspace, queries, result), args.svg)
+        print(f"wrote {args.svg}")
+    if args.json:
+        import json
+
+        payload = {
+            "algorithm": algorithm.name,
+            "query_points": [
+                {"node": q.node_id, "edge": q.edge_id, "offset": q.offset,
+                 "x": q.point.x, "y": q.point.y}
+                for q in queries
+            ],
+            "skyline": [
+                {"object_id": p.object_id, "vector": list(p.vector)}
+                for p in result
+            ],
+            "stats": result.stats.as_row(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.network import route_to
+
+    network = load_network(args.network)
+    for node in (args.origin, args.destination):
+        if not network.has_node(node):
+            print(f"error: unknown junction id {node}", file=sys.stderr)
+            return 2
+    try:
+        distance, route = route_to(
+            network,
+            network.location_at_node(args.origin),
+            network.location_at_node(args.destination),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    junctions = [str(loc.node_id) for loc in route if loc.node_id is not None]
+    print(" -> ".join(junctions))
+    print(f"distance: {distance:.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.__main__ import main as run_experiments
+
+    argv = ["--trials", str(args.trials), "--scale", str(args.scale)]
+    if args.quick:
+        argv.append("--quick")
+    old = sys.argv
+    sys.argv = ["repro-experiments", *argv]
+    try:
+        run_experiments()
+    finally:
+        sys.argv = old
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "query": _cmd_query,
+        "route": _cmd_route,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""The paper's contribution: multi-source network skyline processing.
+
+Public API::
+
+    from repro.core import Workspace, CE, EDC, LBC
+
+    workspace = Workspace.build(network, objects)
+    result = LBC().run(workspace, query_locations)
+    for point in result:
+        print(point.obj.object_id, point.vector)
+
+Algorithms:
+
+* :class:`CollaborativeExpansion` (``CE``) — Section 4.1;
+* :class:`EuclideanDistanceConstraint` (``EDC``) — Section 4.2, batch;
+* :class:`EuclideanDistanceConstraintIncremental` (``EDC-inc``) —
+  Section 4.2's progressive variant;
+* :class:`LowerBoundConstraint` (``LBC``) — Section 4.3, the paper's
+  instance-optimal algorithm;
+* :class:`NaiveSkyline` — exhaustive oracle (not in the paper).
+
+All return identical answers; they differ in how much of the network
+they touch, which is exactly what the benchmarks measure.
+"""
+
+from repro.core.base import SkylineAlgorithm
+from repro.core.ce import CollaborativeExpansion
+from repro.core.explain import (
+    DominanceWitness,
+    ObjectExplanation,
+    explain_object,
+    explain_result,
+    object_vector,
+)
+from repro.core.edc import (
+    EuclideanDistanceConstraint,
+    EuclideanDistanceConstraintIncremental,
+)
+from repro.core.lbc import (
+    LowerBoundConstraint,
+    LowerBoundConstraintLazy,
+    LowerBoundConstraintRoundRobin,
+)
+from repro.core.naive import NaiveSkyline
+from repro.core.query import Workspace
+from repro.core.result import SkylinePoint, SkylineResult
+from repro.core.stats import QueryStats
+
+CE = CollaborativeExpansion
+EDC = EuclideanDistanceConstraint
+EDCIncremental = EuclideanDistanceConstraintIncremental
+LBC = LowerBoundConstraint
+LBCRoundRobin = LowerBoundConstraintRoundRobin
+LBCLazy = LowerBoundConstraintLazy
+
+ALL_ALGORITHMS = (
+    CollaborativeExpansion,
+    EuclideanDistanceConstraint,
+    EuclideanDistanceConstraintIncremental,
+    LowerBoundConstraint,
+    LowerBoundConstraintLazy,
+    LowerBoundConstraintRoundRobin,
+)
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "CE",
+    "CollaborativeExpansion",
+    "DominanceWitness",
+    "ObjectExplanation",
+    "explain_object",
+    "explain_result",
+    "object_vector",
+    "EDC",
+    "EDCIncremental",
+    "EuclideanDistanceConstraint",
+    "EuclideanDistanceConstraintIncremental",
+    "LBC",
+    "LBCLazy",
+    "LBCRoundRobin",
+    "LowerBoundConstraint",
+    "LowerBoundConstraintLazy",
+    "LowerBoundConstraintRoundRobin",
+    "NaiveSkyline",
+    "QueryStats",
+    "SkylineAlgorithm",
+    "SkylinePoint",
+    "SkylineResult",
+    "Workspace",
+]

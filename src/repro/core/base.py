@@ -1,0 +1,121 @@
+"""Common machinery shared by the skyline algorithms.
+
+Every algorithm subclasses :class:`SkylineAlgorithm` and implements
+``_execute``; the base class handles query validation, timing, and the
+I/O snapshotting that turns buffer-pool counters into per-query stats.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.core.query import Workspace
+from repro.core.result import SkylinePoint, SkylineResult
+from repro.core.stats import QueryStats
+from repro.network.graph import NetworkLocation
+from repro.skyline.dominance import dominates
+
+
+class SkylineAlgorithm(ABC):
+    """A multi-source network skyline query processor."""
+
+    name: str = "abstract"
+
+    def run(
+        self, workspace: Workspace, queries: list[NetworkLocation]
+    ) -> SkylineResult:
+        """Answer one query, returning points and cost statistics.
+
+        I/O counters are delta-measured, so workspaces can be reused;
+        call :meth:`Workspace.reset_io` beforehand for cold-buffer runs.
+        """
+        workspace.validate_queries(queries)
+        stats = QueryStats(
+            algorithm=self.name,
+            query_count=len(queries),
+            object_count=len(workspace.objects),
+        )
+        net_before = workspace.network_pages_read()
+        idx_before = workspace.index_pages_read()
+        mid_before = workspace.middle_pages_read()
+
+        started = time.perf_counter()
+        timer = _ResponseTimer(
+            started,
+            pages_probe=lambda: (
+                workspace.network_pages_read() - net_before,
+                workspace.index_pages_read()
+                + workspace.middle_pages_read()
+                - idx_before
+                - mid_before,
+            ),
+        )
+        points = self._execute(workspace, list(queries), stats, timer)
+        finished = time.perf_counter()
+
+        stats.skyline_count = len(points)
+        stats.network_pages = workspace.network_pages_read() - net_before
+        stats.index_pages = workspace.index_pages_read() - idx_before
+        stats.middle_pages = workspace.middle_pages_read() - mid_before
+        stats.total_response_s = finished - started
+        stats.initial_response_s = timer.first_response(default=stats.total_response_s)
+        net_at_first, idx_at_first = timer.pages_at_first(
+            default=(stats.network_pages, stats.index_pages + stats.middle_pages)
+        )
+        stats.initial_network_pages = net_at_first
+        stats.initial_index_pages = idx_at_first
+        return SkylineResult(points=points, stats=stats)
+
+    @abstractmethod
+    def _execute(
+        self,
+        workspace: Workspace,
+        queries: list[NetworkLocation],
+        stats: QueryStats,
+        timer: "_ResponseTimer",
+    ) -> list[SkylinePoint]:
+        """Algorithm body: return the skyline points in discovery order."""
+
+
+class _ResponseTimer:
+    """Records when (and at what I/O cost) the first point is confirmed."""
+
+    def __init__(self, started: float, pages_probe=None) -> None:
+        self._started = started
+        self._first: float | None = None
+        self._pages_probe = pages_probe
+        self._pages_at_first: tuple[int, int] | None = None
+
+    def mark_first_result(self) -> None:
+        """Call when a skyline point is first reported to the user."""
+        if self._first is None:
+            self._first = time.perf_counter()
+            if self._pages_probe is not None:
+                self._pages_at_first = self._pages_probe()
+
+    def first_response(self, default: float) -> float:
+        if self._first is None:
+            return default
+        return self._first - self._started
+
+    def pages_at_first(self, default: tuple[int, int]) -> tuple[int, int]:
+        if self._pages_at_first is None:
+            return default
+        return self._pages_at_first
+
+
+def insert_skyline_point(
+    skyline: list[SkylinePoint], new_point: SkylinePoint
+) -> None:
+    """Add a confirmed point, evicting members it dominates.
+
+    With continuous distances eviction never fires, but exact ties
+    (co-located objects, symmetric networks) can confirm a point before
+    a later point that dominates it arrives — dominance is transitive,
+    so pruning done with the evicted point remains sound, and evicting
+    keeps the final answer exactly the skyline.
+    """
+    new_vector = new_point.vector
+    skyline[:] = [p for p in skyline if not dominates(new_vector, p.vector)]
+    skyline.append(new_point)

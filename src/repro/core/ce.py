@@ -1,0 +1,324 @@
+"""CE — the Collaborative Expansion algorithm (Section 4.1).
+
+Each query point grows a Dijkstra wavefront; the wavefronts take turns
+emitting their next nearest object by network distance.
+
+*Filtering phase.*  Every object any wavefront meets goes into the
+candidate set ``C``.  The phase ends when one object ``p*`` has been
+visited by **all** dimensions: ``p*`` is the first skyline point, and
+every object never seen so far is dominated by it (each dimension's
+unseen objects lie at least as far as ``p*`` in that dimension).
+
+*Refinement phase.*  Expansion continues, but objects outside ``C`` are
+discarded.  When a candidate has been visited by every query point its
+vector is complete: it is a skyline point unless dominated by one that
+is already confirmed.  Confirmed points prune the remaining candidates
+through the paper's ``∩ C(p,q)`` rule, realised here as a sound
+lower-bound dominance test (a candidate's unknown distance to ``q`` is
+at least the distance of ``q``'s last emitted object).
+
+*Static attributes.*  The paper's closing remark of Section 4.3 — treat
+non-spatial attributes (e.g. hotel price) as dimensions whose
+"distances" are pre-computed — matters for CE's correctness, not just
+generality: an object may be remote from every query point yet survive
+on a cheap attribute, and the distance-only cut-off would never place
+it in ``C``.  Each attribute therefore participates in the round-robin
+as a *virtual expander* that emits objects in ascending attribute
+order, so the filtering-phase cut remains exact in the full vector
+space.
+
+Tie safety beyond the paper: (1) after the filtering phase the
+completing dimension is drained of objects tied with ``p*`` so vectors
+identical to ``p*``'s are not lost, and (2) confirmed points evict
+previously confirmed points they dominate (only possible under exact
+ties).  Both are no-ops on generic inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_point
+from repro.core.query import Workspace
+from repro.core.result import SkylinePoint
+from repro.core.stats import QueryStats
+from repro.network.dijkstra import DijkstraExpander
+from repro.network.graph import NetworkLocation
+from repro.network.objects import SpatialObject
+from repro.skyline.dominance import dominates, dominates_lower_bounds
+
+
+class _AttributeRank:
+    """A virtual wavefront: emits objects in ascending attribute order.
+
+    Mirrors the emission interface of
+    :class:`~repro.network.dijkstra.DijkstraExpander` for one static
+    attribute dimension, whose "network distances" are all pre-known.
+    """
+
+    def __init__(self, objects: list[SpatialObject], attribute_index: int) -> None:
+        self._ordered = sorted(
+            objects,
+            key=lambda o: (o.attributes[attribute_index], o.object_id),
+        )
+        self._attribute_index = attribute_index
+        self._position = 0
+        self.last_emitted_distance = -math.inf
+        self.nodes_settled = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._ordered)
+
+    def next_nearest_object(self) -> tuple[SpatialObject, float] | None:
+        if self.exhausted:
+            return None
+        obj = self._ordered[self._position]
+        self._position += 1
+        value = obj.attributes[self._attribute_index]
+        self.last_emitted_distance = value
+        return (obj, value)
+
+
+class CollaborativeExpansion(SkylineAlgorithm):
+    """The paper's straightforward multi-wavefront algorithm.
+
+    ``strategy`` picks how the wavefronts alternate:
+
+    * ``"round_robin"`` (default) — one emission per dimension per
+      cycle, the literal reading of "expanded in a collaborative way";
+    * ``"min_radius"`` — always advance the wavefront whose last
+      emission is nearest its query point, keeping all search circles
+      the same size.  Balanced circles reach the first
+      visited-by-all object with less total area when query points have
+      unequal object densities around them.
+
+    Both produce identical answers; the benchmark suite compares costs.
+    """
+
+    name = "CE"
+
+    STRATEGIES = ("round_robin", "min_radius")
+
+    def __init__(self, strategy: str = "round_robin") -> None:
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from {self.STRATEGIES}"
+            )
+        self.strategy = strategy
+        if strategy != "round_robin":
+            self.name = f"CE-{strategy.replace('_', '-')}"
+
+    def _next_dimension(
+        self, expanders, exhausted: list[bool], dimensions: range
+    ) -> int | None:
+        """The dimension whose wavefront should emit next (or None)."""
+        live = [i for i in dimensions if not exhausted[i]]
+        if not live:
+            return None
+        if self.strategy == "round_robin":
+            return live[0]
+        return min(
+            live, key=lambda i: (expanders[i].last_emitted_distance, i)
+        )
+
+    def _execute(
+        self,
+        workspace: Workspace,
+        queries: list[NetworkLocation],
+        stats: QueryStats,
+        timer: _ResponseTimer,
+    ) -> list[SkylinePoint]:
+        network = workspace.network
+        n = len(queries)
+        k = workspace.attribute_count
+        m = n + k  # total dimensions
+
+        all_objects = list(workspace.objects)
+        expanders: list[DijkstraExpander | _AttributeRank] = [
+            DijkstraExpander(
+                network, q, store=workspace.store, placements=workspace.middle
+            )
+            for q in queries
+        ]
+        expanders.extend(_AttributeRank(all_objects, j) for j in range(k))
+
+        # Partial vectors: object id -> {dimension index: value}.
+        known: dict[int, dict[int, float]] = {}
+        objects: dict[int, SpatialObject] = {}
+        exhausted = [False] * m
+
+        def record_visit(index: int, obj: SpatialObject, value: float) -> bool:
+            """Record one emission; True when visited in every dimension."""
+            objects[obj.object_id] = obj
+            row = known.setdefault(obj.object_id, {})
+            row[index] = value
+            if index < n:
+                stats.distance_computations += 1
+            return len(row) == m
+
+        # ------------------------------------------------------------------
+        # Filtering phase
+        # ------------------------------------------------------------------
+        first_complete: int | None = None
+        completing_index = 0
+        while first_complete is None and not all(exhausted):
+            if self.strategy == "round_robin":
+                order = [i for i in range(m) if not exhausted[i]]
+            else:
+                chosen = self._next_dimension(expanders, exhausted, range(m))
+                order = [] if chosen is None else [chosen]
+            if not order:
+                break
+            for i in order:
+                expander = expanders[i]
+                emission = expander.next_nearest_object()
+                if emission is None:
+                    exhausted[i] = True
+                    continue
+                obj, value = emission
+                if record_visit(i, obj, value):
+                    first_complete = obj.object_id
+                    completing_index = i
+                    break
+
+        candidates: set[int] = set(known)
+        skyline: list[SkylinePoint] = []
+
+        if first_complete is not None:
+            # Drain exact ties from the completing dimension so objects
+            # whose vector equals p*'s are not lost to the C cut-off.
+            p_star_value = known[first_complete][completing_index]
+            expander = expanders[completing_index]
+            while not exhausted[completing_index]:
+                emission = expander.next_nearest_object()
+                if emission is None:
+                    exhausted[completing_index] = True
+                    break
+                obj, value = emission
+                record_visit(completing_index, obj, value)
+                candidates.add(obj.object_id)
+                if value > p_star_value:
+                    break
+
+            stats.candidate_count = len(candidates)
+            p_star = objects[first_complete]
+            vector = self._vector(known[first_complete], n, p_star)
+            new_point = SkylinePoint(obj=p_star, vector=vector)
+            insert_skyline_point(skyline, new_point)
+            timer.mark_first_result()
+            candidates.discard(first_complete)
+            self._prune(candidates, known, objects, expanders, new_point, n)
+        else:
+            # Every dimension exhausted before any object was visited in
+            # all of them: parts of the network are unreachable.  All
+            # seen objects stay candidates with inf-padded vectors, and
+            # never-seen objects (unreachable from every query point)
+            # join them — their all-inf distance vectors tie, so only
+            # their attributes can decide dominance.  Without a p* there
+            # is no cut-off argument to exclude them.
+            for obj in workspace.objects:
+                if obj.object_id not in known:
+                    known[obj.object_id] = {}
+                    objects[obj.object_id] = obj
+                    candidates.add(obj.object_id)
+            stats.candidate_count = len(candidates)
+
+        # ------------------------------------------------------------------
+        # Refinement phase (spatial dimensions only: attribute values of
+        # candidates are already exact)
+        # ------------------------------------------------------------------
+        while candidates and not all(exhausted[:n]):
+            progressed = False
+            for i in range(n):
+                if exhausted[i] or not candidates:
+                    continue
+                if not self._wants_expansion(i, candidates, known):
+                    continue
+                emission = expanders[i].next_nearest_object()
+                if emission is None:
+                    exhausted[i] = True
+                    continue
+                progressed = True
+                obj, value = emission
+                if obj.object_id not in candidates:
+                    # New objects met during refinement are dominated
+                    # (they lie beyond p* in every dimension) — discard.
+                    continue
+                row = known[obj.object_id]
+                row[i] = value
+                stats.distance_computations += 1
+                if all(j in row for j in range(n)):
+                    candidates.discard(obj.object_id)
+                    vector = self._vector(row, n, obj)
+                    if not any(dominates(s.vector, vector) for s in skyline):
+                        new_point = SkylinePoint(obj=obj, vector=vector)
+                        insert_skyline_point(skyline, new_point)
+                        timer.mark_first_result()
+                        self._prune(
+                            candidates, known, objects, expanders, new_point, n
+                        )
+            if not progressed:
+                break
+
+        # Finalise candidates that remained partially visited because a
+        # wavefront exhausted (unreachable regions): unknown = inf.
+        for object_id in sorted(candidates):
+            obj = objects[object_id]
+            vector = self._vector(known[object_id], n, obj)
+            if not any(dominates(s.vector, vector) for s in skyline):
+                insert_skyline_point(skyline, SkylinePoint(obj=obj, vector=vector))
+                timer.mark_first_result()
+
+        stats.nodes_settled = sum(e.nodes_settled for e in expanders)
+        return skyline
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _vector(
+        row: dict[int, float], n: int, obj: SpatialObject
+    ) -> tuple[float, ...]:
+        """Full evaluation vector; attribute values come from the object."""
+        distances = tuple(row.get(i, math.inf) for i in range(n))
+        return distances + obj.attributes
+
+    @staticmethod
+    def _wants_expansion(
+        index: int, candidates: set[int], known: dict[int, dict[int, float]]
+    ) -> bool:
+        """Skip wavefronts that already know every candidate's distance."""
+        return any(index not in known.get(c, {}) for c in candidates)
+
+    @staticmethod
+    def _prune(
+        candidates: set[int],
+        known: dict[int, dict[int, float]],
+        objects: dict[int, SpatialObject],
+        expanders: list,
+        new_point: SkylinePoint,
+        n: int,
+    ) -> None:
+        """Drop candidates provably dominated by the new skyline point.
+
+        Pruning runs once per confirmation, against the newly confirmed
+        point only (the paper's ``∩ C(p,q)`` rule) — earlier skyline
+        points already pruned everything they could when they arrived.
+        A candidate's unknown distance to query ``i`` is bounded below
+        by the distance of that wavefront's last emission; attribute
+        dimensions are exact.  Strictness in the lower-bound dominance
+        test guarantees no tied twin is ever discarded.
+        """
+        vector = new_point.vector
+        doomed: list[int] = []
+        for object_id in candidates:
+            row = known[object_id]
+            bounds = tuple(
+                row.get(i, max(0.0, expanders[i].last_emitted_distance))
+                for i in range(n)
+            ) + objects[object_id].attributes
+            if dominates_lower_bounds(vector, bounds):
+                doomed.append(object_id)
+        for object_id in doomed:
+            candidates.discard(object_id)

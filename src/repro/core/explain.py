@@ -1,0 +1,135 @@
+"""Explaining skyline answers.
+
+"Why is my hotel not in the result?" is the first question a skyline
+user asks.  :func:`explain_object` answers it with the witnesses: the
+skyline members that dominate the object, with the per-dimension
+margins.  :func:`explain_result` summarises an entire answer.
+
+The explanation re-derives the object's vector exactly the way the
+algorithms do (network distances to every query point plus static
+attributes), so it is also a handy debugging probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import Workspace
+from repro.core.result import SkylineResult
+from repro.network.dijkstra import DijkstraExpander
+from repro.network.graph import NetworkLocation
+from repro.skyline.dominance import dominates
+
+
+@dataclass(frozen=True)
+class DominanceWitness:
+    """One skyline member dominating the explained object."""
+
+    dominator_id: int
+    dominator_vector: tuple[float, ...]
+    margins: tuple[float, ...]
+    """Per-dimension ``explained - dominator`` gaps (all >= 0)."""
+
+    @property
+    def worst_margin(self) -> float:
+        return max(self.margins)
+
+
+@dataclass(frozen=True)
+class ObjectExplanation:
+    """The verdict for one object against a skyline result."""
+
+    object_id: int
+    vector: tuple[float, ...]
+    on_skyline: bool
+    witnesses: tuple[DominanceWitness, ...]
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable verdict."""
+        if self.on_skyline:
+            return (
+                f"object {self.object_id} is on the skyline: no other "
+                "object is at least as good in every dimension"
+            )
+        best = min(self.witnesses, key=lambda w: w.worst_margin)
+        dims = ", ".join(f"{m:+.4f}" for m in best.margins)
+        return (
+            f"object {self.object_id} is dominated by "
+            f"{len(self.witnesses)} skyline member(s); the closest is "
+            f"object {best.dominator_id} (per-dimension gaps: {dims})"
+        )
+
+
+def object_vector(
+    workspace: Workspace, queries: list[NetworkLocation], object_id: int
+) -> tuple[float, ...]:
+    """The evaluation vector of one object, computed from scratch."""
+    obj = workspace.objects.get(object_id)
+    distances = tuple(
+        DijkstraExpander(workspace.network, q).distance_to(obj.location)
+        for q in queries
+    )
+    return distances + obj.attributes
+
+
+def explain_object(
+    workspace: Workspace,
+    queries: list[NetworkLocation],
+    result: SkylineResult,
+    object_id: int,
+) -> ObjectExplanation:
+    """Why ``object_id`` is (not) part of ``result``."""
+    vector = object_vector(workspace, queries, object_id)
+    members = result.vectors_by_id()
+    if object_id in members:
+        return ObjectExplanation(
+            object_id=object_id, vector=vector, on_skyline=True, witnesses=()
+        )
+    witnesses = []
+    for member_id, member_vector in sorted(members.items()):
+        if dominates(member_vector, vector):
+            margins = tuple(
+                v - m for v, m in zip(vector, member_vector)
+            )
+            witnesses.append(
+                DominanceWitness(
+                    dominator_id=member_id,
+                    dominator_vector=member_vector,
+                    margins=margins,
+                )
+            )
+    if not witnesses:
+        raise ValueError(
+            f"object {object_id} is neither in the result nor dominated by "
+            "it — the result does not belong to this workspace/query pair"
+        )
+    return ObjectExplanation(
+        object_id=object_id,
+        vector=vector,
+        on_skyline=False,
+        witnesses=tuple(witnesses),
+    )
+
+
+def explain_result(
+    workspace: Workspace,
+    queries: list[NetworkLocation],
+    result: SkylineResult,
+) -> str:
+    """A text report: every skyline member with its best dimension."""
+    lines = [
+        f"{len(result)} skyline points over {len(workspace.objects)} objects, "
+        f"|Q|={len(queries)}"
+    ]
+    dimension_names = [f"d(q{i})" for i in range(len(queries))] + [
+        f"attr{j}" for j in range(workspace.attribute_count)
+    ]
+    for point in result:
+        best_dim = min(
+            range(len(point.vector)), key=lambda i: point.vector[i]
+        )
+        lines.append(
+            f"  object {point.object_id}: best at {dimension_names[best_dim]}"
+            f" = {point.vector[best_dim]:.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The query workspace: one dataset wired to its storage and indexes.
+
+A :class:`Workspace` owns everything an algorithm needs to answer
+multi-source skyline queries over one (network, object set) pair:
+
+* the page-clustered :class:`~repro.network.storage.NetworkStore`
+  behind the experiment's LRU buffer;
+* the :class:`~repro.network.middle_layer.MiddleLayer` with its own
+  B+-tree pager;
+* the object R-tree with its pager;
+
+or, in unpaged mode, the in-memory equivalents (for unit tests and for
+users who want answers without cost simulation).  Workspaces are built
+once per dataset and reused across many queries — exactly how the
+paper's experiments amortise their setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.middle_layer import InMemoryPlacements, MiddleLayer
+from repro.network.objects import ObjectSet
+from repro.network.storage import NetworkStore
+from repro.storage.binding import NodePager
+from repro.storage.buffer import DEFAULT_BUFFER_BYTES
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+@dataclass
+class Workspace:
+    """A dataset plus its (optionally simulated-disk) access structures."""
+
+    network: RoadNetwork
+    objects: ObjectSet
+    store: NetworkStore | None
+    middle: MiddleLayer | InMemoryPlacements
+    object_rtree: RTree
+    rtree_pager: NodePager | None
+    middle_pager: NodePager | None
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        objects: ObjectSet,
+        paged: bool = True,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        rtree_max_entries: int = DEFAULT_MAX_ENTRIES,
+        bptree_order: int = 64,
+        buffer_policy: str = "lru",
+    ) -> "Workspace":
+        """Assemble the workspace, clustering and indexing the dataset.
+
+        ``buffer_policy`` selects the page-replacement policy for every
+        pool ("lru" — the paper's setup — "fifo" or "clock").
+        """
+        if objects.network is not network:
+            raise ValueError("object set was built for a different network")
+        objects.validate_uniform_attributes()
+        if paged:
+            store = NetworkStore(
+                network,
+                page_size=page_size,
+                buffer_bytes=buffer_bytes,
+                policy=buffer_policy,
+            )
+            middle_pager = NodePager(
+                buffer_bytes=buffer_bytes, page_size=page_size, policy=buffer_policy
+            )
+            middle: MiddleLayer | InMemoryPlacements = MiddleLayer.build(
+                objects, order=bptree_order, pager=middle_pager
+            )
+            rtree_pager = NodePager(
+                buffer_bytes=buffer_bytes, page_size=page_size, policy=buffer_policy
+            )
+            object_rtree = objects.build_rtree(
+                max_entries=rtree_max_entries, pager=rtree_pager
+            )
+        else:
+            store = None
+            middle_pager = None
+            middle = InMemoryPlacements(objects)
+            rtree_pager = None
+            object_rtree = objects.build_rtree(max_entries=rtree_max_entries)
+        return cls(
+            network=network,
+            objects=objects,
+            store=store,
+            middle=middle,
+            object_rtree=object_rtree,
+            rtree_pager=rtree_pager,
+            middle_pager=middle_pager,
+        )
+
+    # ------------------------------------------------------------------
+    # I/O accounting
+    # ------------------------------------------------------------------
+    def reset_io(self, cold: bool = True) -> None:
+        """Zero counters before a measured query (cold = empty buffers)."""
+        if self.store is not None:
+            self.store.reset(cold=cold)
+        for pager in (self.rtree_pager, self.middle_pager):
+            if pager is not None:
+                pager.pool.reset_stats()
+                if cold:
+                    pager.pool.clear()
+
+    def network_pages_read(self) -> int:
+        """Physical network-store reads since the last reset."""
+        return self.store.stats.physical_reads if self.store is not None else 0
+
+    def index_pages_read(self) -> int:
+        """Physical object-R-tree page reads since the last reset."""
+        return (
+            self.rtree_pager.stats.physical_reads
+            if self.rtree_pager is not None
+            else 0
+        )
+
+    def middle_pages_read(self) -> int:
+        """Physical middle-layer page reads since the last reset."""
+        return (
+            self.middle_pager.stats.physical_reads
+            if self.middle_pager is not None
+            else 0
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic object updates
+    # ------------------------------------------------------------------
+    def add_object(self, obj) -> None:
+        """Add one object, keeping every derived index consistent.
+
+        Updates the object set, the middle layer's B+-tree and the
+        object R-tree in one step; subsequent queries see the object.
+        """
+        self.objects.add(obj)
+        self.middle.add_object(obj)
+        self.object_rtree.insert_point(obj.point, obj)
+
+    def remove_object(self, object_id: int) -> None:
+        """Remove one object everywhere (KeyError when absent)."""
+        obj = self.objects.remove(object_id)
+        self.middle.remove_object(obj)
+        self.object_rtree.delete_point(obj.point, obj)
+
+    # ------------------------------------------------------------------
+    # Query-point helpers
+    # ------------------------------------------------------------------
+    def validate_queries(self, queries: list[NetworkLocation]) -> None:
+        """Reject empty or foreign query-point lists early."""
+        if not queries:
+            raise ValueError("a skyline query needs at least one query point")
+        for q in queries:
+            if q.node_id is not None and not self.network.has_node(q.node_id):
+                raise KeyError(f"query point at unknown node {q.node_id}")
+            if q.edge_id is not None:
+                self.network.edge(q.edge_id)  # KeyError for foreign edges
+
+    @property
+    def attribute_count(self) -> int:
+        """Static (non-spatial) attributes carried by every object."""
+        return self.objects.attribute_count

@@ -1,0 +1,147 @@
+"""DIMACS shortest-path challenge format (.gr / .co) ingestion.
+
+The 9th DIMACS Implementation Challenge distributed the de-facto
+standard public road networks (USA road graphs) as two files:
+
+* a **coordinate file** (``.co``)::
+
+      c comment
+      p aux sp co <n>
+      v <id> <x> <y>          # ids 1..n, coordinates as integers
+
+* a **graph file** (``.gr``)::
+
+      c comment
+      p sp <n> <m>
+      a <u> <v> <weight>      # directed arc
+
+Road networks ship each undirected segment as two arcs; the loader
+collapses symmetric pairs (keeping the smaller weight when they
+disagree) and scales coordinates into the library's unit region so the
+Euclidean heuristic stays admissible: weights are rescaled such that
+every edge is at least as long as its chord, preserving *relative*
+weights exactly (one global factor).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from repro.geometry.point import Point
+from repro.network.graph import RoadNetwork
+
+
+class DimacsFormatError(ValueError):
+    """Raised for malformed DIMACS input."""
+
+    def __init__(self, path: str, line_number: int, message: str) -> None:
+        super().__init__(f"{path}:{line_number}: {message}")
+        self.path = path
+        self.line_number = line_number
+
+
+def _records(handle: TextIO):
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        yield (line_number, line.split())
+
+
+def load_dimacs(
+    graph_path: str | Path,
+    coordinate_path: str | Path,
+    region_side: float = 1.0,
+) -> RoadNetwork:
+    """Build a :class:`RoadNetwork` from DIMACS ``.gr``/``.co`` files.
+
+    Node ids are renumbered to 0-based.  Coordinates are scaled into a
+    ``region_side``-sized square; arc weights get one global scale
+    factor chosen so that every edge length >= its chord (A\\*
+    admissibility), leaving all weight *ratios* untouched.
+    """
+    graph_path = Path(graph_path)
+    coordinate_path = Path(coordinate_path)
+
+    raw_coordinates: dict[int, tuple[float, float]] = {}
+    with coordinate_path.open() as handle:
+        for line_number, fields in _records(handle):
+            kind = fields[0]
+            if kind == "p":
+                continue
+            if kind != "v":
+                raise DimacsFormatError(
+                    str(coordinate_path), line_number,
+                    f"unexpected record {kind!r}",
+                )
+            if len(fields) != 4:
+                raise DimacsFormatError(
+                    str(coordinate_path), line_number,
+                    "v takes 3 fields: id x y",
+                )
+            raw_coordinates[int(fields[1])] = (float(fields[2]), float(fields[3]))
+    if not raw_coordinates:
+        raise DimacsFormatError(str(coordinate_path), 0, "no vertices found")
+
+    arcs: dict[tuple[int, int], float] = {}
+    with graph_path.open() as handle:
+        for line_number, fields in _records(handle):
+            kind = fields[0]
+            if kind == "p":
+                continue
+            if kind != "a":
+                raise DimacsFormatError(
+                    str(graph_path), line_number, f"unexpected record {kind!r}"
+                )
+            if len(fields) != 4:
+                raise DimacsFormatError(
+                    str(graph_path), line_number, "a takes 3 fields: u v w"
+                )
+            u, v, weight = int(fields[1]), int(fields[2]), float(fields[3])
+            if u not in raw_coordinates or v not in raw_coordinates:
+                raise DimacsFormatError(
+                    str(graph_path), line_number,
+                    f"arc references unknown vertex ({u}, {v})",
+                )
+            if u == v:
+                continue  # self-loops carry no shortest-path information
+            if weight <= 0:
+                raise DimacsFormatError(
+                    str(graph_path), line_number, f"non-positive weight {weight}"
+                )
+            key = (min(u, v), max(u, v))
+            existing = arcs.get(key)
+            if existing is None or weight < existing:
+                arcs[key] = weight
+
+    # Scale coordinates into the unit region.
+    xs = [c[0] for c in raw_coordinates.values()]
+    ys = [c[1] for c in raw_coordinates.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span = max(max_x - min_x, max_y - min_y) or 1.0
+    scale = region_side / span
+
+    renumber = {old: new for new, old in enumerate(sorted(raw_coordinates))}
+    network = RoadNetwork()
+    for old_id, (x, y) in raw_coordinates.items():
+        network.add_node(
+            renumber[old_id],
+            Point((x - min_x) * scale, (y - min_y) * scale),
+        )
+
+    # One global weight factor making every edge >= its chord.
+    factor = 0.0
+    for (u, v), weight in arcs.items():
+        chord = network.node_point(renumber[u]).distance_to(
+            network.node_point(renumber[v])
+        )
+        if chord > 0:
+            factor = max(factor, chord / weight)
+    if factor == 0.0:
+        factor = 1.0
+
+    for (u, v), weight in sorted(arcs.items()):
+        network.add_edge(renumber[u], renumber[v], length=weight * factor)
+    return network

@@ -1,0 +1,99 @@
+"""Query-point selection.
+
+Section 6.1: "the query points ranging from 1 to 15 are selected within
+a relative small region (10 %) of the network such that the maximum
+search region will not go beyond the given network."  We interpret 10 %
+as area fraction: a square window of area ``region_fraction`` times the
+network's bounding area, anchored at a random junction, from which the
+query junctions are drawn.  The window grows automatically when it
+holds too few junctions (sparse corners).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.mbr import MBR
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+
+def select_query_points(
+    network: RoadNetwork,
+    count: int,
+    region_fraction: float = 0.10,
+    seed: int = 0,
+) -> list[NetworkLocation]:
+    """Pick ``count`` query junctions inside a small random window."""
+    if count < 1:
+        raise ValueError(f"need at least one query point, got {count}")
+    if not 0.0 < region_fraction <= 1.0:
+        raise ValueError(
+            f"region_fraction must be in (0, 1], got {region_fraction}"
+        )
+    if network.node_count == 0:
+        raise ValueError("cannot select query points on an empty network")
+    rng = random.Random(seed)
+    node_ids = sorted(network.node_ids())
+    box = network.mbr()
+
+    anchor = network.node_point(rng.choice(node_ids))
+    fraction = region_fraction
+    while True:
+        side_x = box.width * fraction**0.5
+        side_y = box.height * fraction**0.5
+        window = MBR(
+            max(box.min_x, anchor.x - side_x / 2),
+            max(box.min_y, anchor.y - side_y / 2),
+            min(box.max_x, anchor.x + side_x / 2),
+            min(box.max_y, anchor.y + side_y / 2),
+        )
+        inside = [
+            node_id
+            for node_id in node_ids
+            if window.contains_point(network.node_point(node_id))
+        ]
+        if len(inside) >= count:
+            break
+        if fraction >= 1.0:
+            # An anchor-centred window clips at the boundary even at
+            # full size; fall back to the whole network.
+            inside = node_ids
+            break
+        fraction = min(1.0, fraction * 2.0)
+
+    if len(inside) < count:
+        raise ValueError(
+            f"network has only {len(inside)} junctions, cannot pick {count} "
+            "query points"
+        )
+    chosen = rng.sample(inside, count)
+    return [network.location_at_node(node_id) for node_id in chosen]
+
+
+def select_query_points_on_edges(
+    network: RoadNetwork,
+    count: int,
+    region_fraction: float = 0.10,
+    seed: int = 0,
+) -> list[NetworkLocation]:
+    """Like :func:`select_query_points` but anchored mid-edge.
+
+    Exercises the on-edge query-location code paths (users rarely stand
+    exactly on a junction).
+    """
+    rng = random.Random(seed)
+    node_locations = select_query_points(
+        network, count, region_fraction=region_fraction, seed=seed
+    )
+    locations = []
+    for loc in node_locations:
+        assert loc.node_id is not None
+        incident = network.neighbors(loc.node_id)
+        if not incident:
+            locations.append(loc)
+            continue
+        _, edge_id = incident[rng.randrange(len(incident))]
+        edge = network.edge(edge_id)
+        offset = edge.length * rng.uniform(0.25, 0.75)
+        locations.append(network.location_on_edge(edge_id, offset))
+    return locations

@@ -1,0 +1,62 @@
+"""Experiment harness reproducing every figure of the paper's Section 6.
+
+Run everything with::
+
+    python -m repro.experiments
+
+or call individual figure runners (see :mod:`repro.experiments.figures`).
+"""
+
+from repro.experiments.ablations import (
+    run_ablation_buffer,
+    run_ablation_ce_strategy,
+    run_ablation_heuristic,
+    run_ablation_lazy,
+    run_ablation_plb,
+    run_all_ablations,
+)
+from repro.experiments.figures import (
+    DEFAULT_Q_SWEEP,
+    FigureSeries,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5,
+    run_fig6_omega,
+    run_fig6_q,
+)
+from repro.experiments.harness import (
+    AggregateStats,
+    ExperimentConfig,
+    WorkloadCache,
+    run_experiment,
+    shared_cache,
+)
+from repro.experiments.reporting import format_series, winner_summary
+from repro.experiments.shapes import ShapeCheck, verify_all
+
+__all__ = [
+    "DEFAULT_Q_SWEEP",
+    "AggregateStats",
+    "ExperimentConfig",
+    "FigureSeries",
+    "WorkloadCache",
+    "format_series",
+    "run_ablation_buffer",
+    "run_ablation_ce_strategy",
+    "run_ablation_heuristic",
+    "run_ablation_lazy",
+    "run_ablation_plb",
+    "run_all_ablations",
+    "run_experiment",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "run_fig5",
+    "run_fig6_omega",
+    "run_fig6_q",
+    "shared_cache",
+    "verify_all",
+    "winner_summary",
+    "ShapeCheck",
+]

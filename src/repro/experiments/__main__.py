@@ -1,0 +1,99 @@
+"""Regenerate every figure of the paper and print the tables.
+
+Usage::
+
+    python -m repro.experiments [--trials N] [--scale S] [--quick]
+
+``--quick`` runs a single trial on a smaller grid (a smoke run);
+defaults reproduce the full reported tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.figures import (
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5,
+    run_fig6_omega,
+    run_fig6_q,
+)
+from repro.experiments.harness import ExperimentConfig, WorkloadCache
+from repro.experiments.reporting import format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--scale", type=float, default=0.10)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--csv-dir", help="also write each figure's series as CSV here"
+    )
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="also run the design-choice ablations",
+    )
+    parser.add_argument(
+        "--verify-shapes", action="store_true",
+        help="check every measured figure against the paper's shape claims",
+    )
+    args = parser.parse_args()
+
+    base = ExperimentConfig(trials=1 if args.quick else args.trials, scale=args.scale)
+    q_values = (2, 4, 8) if args.quick else (2, 4, 6, 8, 10, 15)
+    omega_values = (0.05, 0.5, 2.0) if args.quick else (0.05, 0.2, 0.5, 1.0, 2.0)
+    cache = WorkloadCache()
+
+    csv_dir = None
+    if args.csv_dir:
+        from pathlib import Path
+
+        csv_dir = Path(args.csv_dir)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(series) -> None:
+        print(format_series(series), end="\n\n")
+        if csv_dir is not None:
+            from repro.experiments.reporting import write_series_csv
+
+            write_series_csv(series, csv_dir / f"{series.figure.lower()}.csv")
+
+    started = time.perf_counter()
+    produced = {}
+
+    def track(series):
+        produced[series.figure] = series
+        emit(series)
+
+    track(run_fig4a(base, q_values, cache))
+    track(run_fig4b(base, omega_values, cache))
+    track(run_fig4c(base, cache=cache))
+    for series in run_fig5(base, cache=cache):
+        track(series)
+    for series in run_fig6_q(base, q_values, cache):
+        track(series)
+    for series in run_fig6_omega(base, omega_values, cache):
+        track(series)
+    if args.verify_shapes:
+        from repro.experiments.shapes import verify_all
+
+        checks = verify_all(produced)
+        print("shape verification:")
+        for check in checks:
+            print(f"  {check}")
+        failed = sum(1 for c in checks if not c.passed)
+        print(f"{len(checks) - failed}/{len(checks)} claims hold\n")
+    if args.ablations:
+        from repro.experiments.ablations import run_all_ablations
+
+        for series in run_all_ablations(base, cache):
+            emit(series)
+    print(f"total wall time: {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Ablation runners: the design-choice comparisons DESIGN.md calls out.
+
+Each runner reuses the figure harness (same workloads, cold buffers,
+trial averaging) but compares *variants of one algorithm* instead of
+the paper's three algorithms:
+
+* :func:`run_ablation_plb` — LBC with vs without path-distance lower
+  bounds (Section 4.3's second idea, isolated);
+* :func:`run_ablation_lazy` — eager vs lazily-bounded source dimension
+  (our LBC-lazy extension), across network densities;
+* :func:`run_ablation_heuristic` — Euclidean vs landmark (ALT) lower
+  bounds on the sparse network;
+* :func:`run_ablation_ce_strategy` — CE wavefront alternation policies;
+* :func:`run_ablation_buffer` — CE's page misses across buffer sizes
+  (the thrashing behind Figure 6(a)'s superlinearity).
+
+``python -m repro.experiments --ablations`` prints them all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ce import CollaborativeExpansion
+from repro.core.lbc import LowerBoundConstraint, LowerBoundConstraintLazy
+from repro.datasets.presets import DENSITY_ORDER
+from repro.experiments.figures import FigureSeries
+from repro.experiments.harness import (
+    ExperimentConfig,
+    WorkloadCache,
+    run_experiment,
+)
+
+
+def run_ablation_plb(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """LBC's partial distance computation, on vs off, across densities."""
+    base = base or ExperimentConfig()
+    series = FigureSeries(
+        figure="Abl-plb",
+        title="LBC with vs without path-distance lower bounds",
+        x_label="network",
+        y_label="nodes settled",
+    )
+    algorithms = [
+        LowerBoundConstraint(),
+        LowerBoundConstraint(use_lower_bounds=False),
+    ]
+    for name in DENSITY_ORDER:
+        out = run_experiment(base.with_(network=name), algorithms, cache=cache)
+        series.add_point(name, out, "nodes_settled")
+    return series
+
+
+def run_ablation_lazy(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """Eager vs lazy source-distance bounding across densities."""
+    base = base or ExperimentConfig()
+    series = FigureSeries(
+        figure="Abl-lazy",
+        title="LBC vs LBC-lazy (lazily-bounded source dimension)",
+        x_label="network",
+        y_label="nodes settled",
+    )
+    algorithms = [LowerBoundConstraint(), LowerBoundConstraintLazy()]
+    for name in DENSITY_ORDER:
+        out = run_experiment(base.with_(network=name), algorithms, cache=cache)
+        series.add_point(name, out, "nodes_settled")
+    return series
+
+
+def run_ablation_heuristic(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+    landmark_count: int = 8,
+) -> FigureSeries:
+    """Euclidean vs landmark (ALT) heuristic on the sparse CA network."""
+    from repro.network.landmarks import LandmarkHeuristic
+
+    base = (base or ExperimentConfig()).with_(network="CA")
+    if cache is None:
+        cache = WorkloadCache()
+    workspace = cache.workspace(base)
+    guide = LandmarkHeuristic(workspace.network, count=landmark_count, seed=1)
+
+    euclid = LowerBoundConstraint()
+    landmark = LowerBoundConstraint(heuristic=guide)
+    landmark.name = "LBC-landmarks"
+
+    series = FigureSeries(
+        figure="Abl-alt",
+        title="LBC heuristic: Euclidean vs landmarks (ALT)",
+        x_label="network",
+        y_label="nodes settled",
+    )
+    out = run_experiment(base, [euclid, landmark], cache=cache)
+    series.add_point("CA", out, "nodes_settled")
+    return series
+
+
+def run_ablation_ce_strategy(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """CE wavefront alternation policies across densities."""
+    base = base or ExperimentConfig()
+    series = FigureSeries(
+        figure="Abl-ce",
+        title="CE alternation: round-robin vs min-radius",
+        x_label="network",
+        y_label="network pages",
+    )
+    algorithms = [
+        CollaborativeExpansion(),
+        CollaborativeExpansion(strategy="min_radius"),
+    ]
+    for name in DENSITY_ORDER:
+        out = run_experiment(base.with_(network=name), algorithms, cache=cache)
+        series.add_point(name, out, "network_pages")
+    return series
+
+
+def run_ablation_buffer(
+    base: ExperimentConfig | None = None,
+    buffer_kib: Sequence[int] = (64, 128, 256, 1024),
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """CE's page misses as the buffer shrinks (NA workload)."""
+    base = base or ExperimentConfig()
+    series = FigureSeries(
+        figure="Abl-buf",
+        title="CE network pages vs buffer size (NA)",
+        x_label="buffer KiB",
+        y_label="network pages",
+    )
+    for kib in buffer_kib:
+        config = base.with_(buffer_bytes=kib * 1024)
+        out = run_experiment(config, [CollaborativeExpansion()], cache=cache)
+        series.add_point(kib, out, "network_pages")
+    return series
+
+
+def run_all_ablations(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+) -> list[FigureSeries]:
+    """Every ablation, sharing one workload cache."""
+    if cache is None:
+        cache = WorkloadCache()
+    return [
+        run_ablation_plb(base, cache),
+        run_ablation_lazy(base, cache),
+        run_ablation_heuristic(base, cache),
+        run_ablation_ce_strategy(base, cache),
+        run_ablation_buffer(base, cache=cache),
+    ]

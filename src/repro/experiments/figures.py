@@ -1,0 +1,213 @@
+"""One runner per figure of the paper's evaluation (Section 6).
+
+Every runner returns a :class:`FigureSeries`: an x-axis, one y-series
+per algorithm, and enough metadata to print a table shaped like the
+paper's plot.  The experiment index in DESIGN.md maps figure ids to
+these runners; ``python -m repro.experiments`` regenerates everything.
+
+Defaults follow the paper (ω = 50 %, |Q| = 4, network NA); the |Q| and
+ω sweeps default to a subsampled grid to keep pure-Python runtimes
+reasonable — pass the full ranges to match the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.ce import CollaborativeExpansion
+from repro.core.edc import EuclideanDistanceConstraint
+from repro.core.lbc import LowerBoundConstraint
+from repro.datasets.objects import OMEGA_LEVELS
+from repro.datasets.presets import DENSITY_ORDER
+from repro.experiments.harness import (
+    AggregateStats,
+    ExperimentConfig,
+    WorkloadCache,
+    run_experiment,
+)
+
+DEFAULT_Q_SWEEP = (2, 4, 6, 8, 10, 15)
+"""Subsample of the paper's |Q| = 1..15 sweep (full range supported)."""
+
+PAPER_ALGORITHMS = (CollaborativeExpansion, EuclideanDistanceConstraint, LowerBoundConstraint)
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one reproduced figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    aggregates: dict[tuple, AggregateStats] = field(default_factory=dict)
+
+    def add_point(self, x, per_algorithm: dict[str, AggregateStats], metric: str) -> None:
+        self.x_values.append(x)
+        for name, aggregate in per_algorithm.items():
+            self.series.setdefault(name, []).append(aggregate.metric(metric))
+            self.aggregates[(x, name)] = aggregate
+
+
+def _algorithms():
+    return [cls() for cls in PAPER_ALGORITHMS]
+
+
+def _sweep(
+    figure: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    metric: str,
+    points: Sequence[tuple[object, ExperimentConfig]],
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    out = FigureSeries(
+        figure=figure, title=title, x_label=x_label, y_label=y_label
+    )
+    for x, config in points:
+        per_algorithm = run_experiment(config, _algorithms(), cache=cache)
+        out.add_point(x, per_algorithm, metric)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — candidate ratio |C|/|D|
+# ----------------------------------------------------------------------
+def run_fig4a(
+    base: ExperimentConfig | None = None,
+    q_values: Sequence[int] = DEFAULT_Q_SWEEP,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """Figure 4(a): candidate ratio vs |Q| (ω = 50 %, NA)."""
+    base = base or ExperimentConfig()
+    points = [(q, base.with_(query_count=q)) for q in q_values]
+    return _sweep(
+        "Fig4a", "Candidate ratio vs |Q|", "|Q|", "|C|/|D|", "candidate_ratio", points, cache
+    )
+
+
+def run_fig4b(
+    base: ExperimentConfig | None = None,
+    omega_values: Sequence[float] = OMEGA_LEVELS,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """Figure 4(b): candidate ratio vs object density ω (|Q| = 4, NA)."""
+    base = base or ExperimentConfig()
+    points = [(omega, base.with_(omega=omega)) for omega in omega_values]
+    return _sweep(
+        "Fig4b", "Candidate ratio vs ω", "ω", "|C|/|D|", "candidate_ratio", points, cache
+    )
+
+
+def run_fig4c(
+    base: ExperimentConfig | None = None,
+    networks: Sequence[str] = DENSITY_ORDER,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """Figure 4(c): candidate ratio vs network density (|Q|=4, ω=50 %)."""
+    base = base or ExperimentConfig()
+    points = [(name, base.with_(network=name)) for name in networks]
+    return _sweep(
+        "Fig4c",
+        "Candidate ratio vs network density",
+        "network",
+        "|C|/|D|",
+        "candidate_ratio",
+        points,
+        cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — disk pages / response times vs network density
+# ----------------------------------------------------------------------
+def run_fig5(
+    base: ExperimentConfig | None = None,
+    networks: Sequence[str] = DENSITY_ORDER,
+    cache: WorkloadCache | None = None,
+) -> tuple[FigureSeries, FigureSeries, FigureSeries]:
+    """Figures 5(a)-(c): pages, total and initial response vs density.
+
+    One sweep feeds all three panels (the paper measures them in the
+    same runs).
+    """
+    base = base or ExperimentConfig()
+    pages = FigureSeries(
+        figure="Fig5a",
+        title="Network disk pages vs network density",
+        x_label="network",
+        y_label="network pages",
+    )
+    total = FigureSeries(
+        figure="Fig5b",
+        title="Total response time vs network density",
+        x_label="network",
+        y_label="seconds (wall + modeled I/O)",
+    )
+    initial = FigureSeries(
+        figure="Fig5c",
+        title="Initial response time vs network density",
+        x_label="network",
+        y_label="seconds (wall + modeled I/O)",
+    )
+    for name in networks:
+        per_algorithm = run_experiment(base.with_(network=name), _algorithms(), cache=cache)
+        pages.add_point(name, per_algorithm, "network_pages")
+        total.add_point(name, per_algorithm, "modeled_total_s")
+        initial.add_point(name, per_algorithm, "modeled_initial_s")
+    return (pages, total, initial)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — sweeps over |Q| and ω
+# ----------------------------------------------------------------------
+def run_fig6_q(
+    base: ExperimentConfig | None = None,
+    q_values: Sequence[int] = DEFAULT_Q_SWEEP,
+    cache: WorkloadCache | None = None,
+) -> tuple[FigureSeries, FigureSeries, FigureSeries]:
+    """Figures 6(a)-(c): pages, total and initial response vs |Q|."""
+    base = base or ExperimentConfig()
+    pages = FigureSeries(
+        figure="Fig6a", title="Network disk pages vs |Q|", x_label="|Q|", y_label="network pages"
+    )
+    total = FigureSeries(
+        figure="Fig6b", title="Total response time vs |Q|", x_label="|Q|", y_label="seconds (wall + modeled I/O)"
+    )
+    initial = FigureSeries(
+        figure="Fig6c", title="Initial response time vs |Q|", x_label="|Q|", y_label="seconds (wall + modeled I/O)"
+    )
+    for q in q_values:
+        per_algorithm = run_experiment(base.with_(query_count=q), _algorithms(), cache=cache)
+        pages.add_point(q, per_algorithm, "network_pages")
+        total.add_point(q, per_algorithm, "modeled_total_s")
+        initial.add_point(q, per_algorithm, "modeled_initial_s")
+    return (pages, total, initial)
+
+
+def run_fig6_omega(
+    base: ExperimentConfig | None = None,
+    omega_values: Sequence[float] = OMEGA_LEVELS,
+    cache: WorkloadCache | None = None,
+) -> tuple[FigureSeries, FigureSeries, FigureSeries]:
+    """Figures 6(d)-(f): pages, total and initial response vs ω."""
+    base = base or ExperimentConfig()
+    pages = FigureSeries(
+        figure="Fig6d", title="Network disk pages vs ω", x_label="ω", y_label="network pages"
+    )
+    total = FigureSeries(
+        figure="Fig6e", title="Total response time vs ω", x_label="ω", y_label="seconds (wall + modeled I/O)"
+    )
+    initial = FigureSeries(
+        figure="Fig6f", title="Initial response time vs ω", x_label="ω", y_label="seconds (wall + modeled I/O)"
+    )
+    for omega in omega_values:
+        per_algorithm = run_experiment(base.with_(omega=omega), _algorithms(), cache=cache)
+        pages.add_point(omega, per_algorithm, "network_pages")
+        total.add_point(omega, per_algorithm, "modeled_total_s")
+        initial.add_point(omega, per_algorithm, "modeled_initial_s")
+    return (pages, total, initial)

@@ -1,0 +1,65 @@
+"""Text-table rendering for reproduced figures."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+
+
+def format_series(series: FigureSeries, precision: int = 4) -> str:
+    """Render a figure's data as an aligned text table."""
+    names = sorted(series.series)
+    header = [series.x_label, *names]
+    rows: list[list[str]] = []
+    for i, x in enumerate(series.x_values):
+        row = [_fmt(x, precision)]
+        for name in names:
+            row.append(_fmt(series.series[name][i], precision))
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [
+        f"{series.figure}: {series.title}  [y = {series.y_label}]",
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def series_to_csv(series: FigureSeries) -> str:
+    """The figure's data as CSV text (header = x label + algorithms).
+
+    For users who want to re-plot the reproduced figures with their own
+    tooling; pairs with :func:`write_series_csv`.
+    """
+    names = sorted(series.series)
+    lines = [",".join([series.x_label, *names])]
+    for i, x in enumerate(series.x_values):
+        row = [str(x)] + [repr(series.series[name][i]) for name in names]
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def write_series_csv(series: FigureSeries, path) -> None:
+    """Write :func:`series_to_csv` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(series_to_csv(series))
+
+
+def winner_summary(series: FigureSeries) -> dict[str, int]:
+    """How many x-points each algorithm wins (minimises the metric)."""
+    wins: dict[str, int] = {name: 0 for name in series.series}
+    for i in range(len(series.x_values)):
+        best = min(series.series, key=lambda name: series.series[name][i])
+        wins[best] += 1
+    return wins

@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's conclusion suggests the path-distance lower bound "can be
+applied to benefit other types of road network queries"; this package
+carries those transfers:
+
+* :mod:`repro.extensions.ann` — aggregate nearest-neighbour queries
+  (sum/max group travel), baseline and plb-accelerated.
+"""
+
+from repro.extensions.ann import (
+    AGGREGATES,
+    AggregateNNAnswer,
+    AggregateNNBaseline,
+    AggregateNNLowerBound,
+    AggregateNNResult,
+    brute_force_aggregate_nn,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateNNAnswer",
+    "AggregateNNBaseline",
+    "AggregateNNLowerBound",
+    "AggregateNNResult",
+    "brute_force_aggregate_nn",
+]

@@ -1,0 +1,34 @@
+"""Planar geometry primitives shared by the indexes and the road network.
+
+Public surface:
+
+* :class:`~repro.geometry.point.Point` — immutable 2-D point.
+* :class:`~repro.geometry.segment.Segment` — line segment with projection.
+* :class:`~repro.geometry.polyline.Polyline` — multi-segment edge geometry.
+* :class:`~repro.geometry.mbr.MBR` — axis-aligned rectangle with the
+  ``mindist`` bound used throughout the R-tree-based algorithms.
+"""
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import (
+    ORIGIN,
+    Point,
+    bounding_coordinates,
+    centroid,
+    euclidean,
+    total_path_length,
+)
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "MBR",
+    "ORIGIN",
+    "Point",
+    "Polyline",
+    "Segment",
+    "bounding_coordinates",
+    "centroid",
+    "euclidean",
+    "total_path_length",
+]

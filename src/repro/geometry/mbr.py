@@ -1,0 +1,184 @@
+"""Minimum bounding rectangles (MBRs).
+
+MBRs are the workhorse of the R-tree (:mod:`repro.index.rtree`): every
+index entry carries one, and the skyline algorithms prune whole subtrees
+by reasoning about the minimum possible distance from a query point to an
+MBR (``mindist``, Roussopoulos et al.'s bound, used by the paper's BBS
+variant and by LBC's constrained nearest-neighbour search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate MBR: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, p: Point) -> "MBR":
+        """A zero-area MBR covering a single point."""
+        return cls(p.x, p.y, p.x, p.y)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "MBR":
+        """The tightest MBR covering a non-empty iterable of points."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("MBR.from_points() of an empty iterable") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in it:
+            if p.x < min_x:
+                min_x = p.x
+            if p.x > max_x:
+                max_x = p.x
+            if p.y < min_y:
+                min_y = p.y
+            if p.y > max_y:
+                max_y = p.y
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def union_all(cls, rects: Iterable["MBR"]) -> "MBR":
+        """The tightest MBR covering a non-empty iterable of MBRs."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("MBR.union_all() of an empty iterable") from None
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for r in it:
+            if r.min_x < min_x:
+                min_x = r.min_x
+            if r.min_y < min_y:
+                min_y = r.min_y
+            if r.max_x > max_x:
+                max_x = r.max_x
+            if r.max_y > max_y:
+                max_y = r.max_y
+        return cls(min_x, min_y, max_x, max_y)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains(self, other: "MBR") -> bool:
+        """True if ``other`` lies entirely inside (or equals) this MBR."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        """True if the two rectangles share at least a boundary point."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    # ------------------------------------------------------------------
+    # Combination and metrics
+    # ------------------------------------------------------------------
+    def union(self, other: "MBR") -> "MBR":
+        """The tightest MBR covering both rectangles."""
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def extended_to(self, p: Point) -> "MBR":
+        """The tightest MBR covering this rectangle and ``p``."""
+        return MBR(
+            min(self.min_x, p.x),
+            min(self.min_y, p.y),
+            max(self.max_x, p.x),
+            max(self.max_y, p.y),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Extra area needed for this MBR to also cover ``other``.
+
+        This is the classic Guttman insertion heuristic: the child whose
+        MBR needs the least enlargement receives the new entry.
+        """
+        return self.union(other).area - self.area
+
+    def mindist(self, p: Point) -> float:
+        """Minimum Euclidean distance from ``p`` to any point of the MBR.
+
+        Zero when ``p`` is inside.  This is the lower bound used for
+        best-first R-tree traversal: no object inside the MBR can be
+        closer to ``p`` than ``mindist``.
+        """
+        dx = 0.0
+        if p.x < self.min_x:
+            dx = self.min_x - p.x
+        elif p.x > self.max_x:
+            dx = p.x - self.max_x
+        dy = 0.0
+        if p.y < self.min_y:
+            dy = self.min_y - p.y
+        elif p.y > self.max_y:
+            dy = p.y - self.max_y
+        return (dx * dx + dy * dy) ** 0.5
+
+    def maxdist(self, p: Point) -> float:
+        """Maximum Euclidean distance from ``p`` to any point of the MBR."""
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return (dx * dx + dy * dy) ** 0.5

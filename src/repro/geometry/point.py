@@ -1,0 +1,117 @@
+"""Planar point primitives and distance kernels.
+
+The road networks in the paper are embedded in a unified ``1 km x 1 km``
+region, so all geometry in this package is two-dimensional Euclidean
+geometry over ``float`` coordinates.  :class:`Point` is deliberately an
+immutable value type: points are used as dictionary keys, stored inside
+index pages, and shared freely between algorithm state and statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the plane.
+
+    Supports the small amount of vector arithmetic the library needs
+    (translation, subtraction, scaling) without pulling in numpy for
+    what are single-pair operations on the hot path.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance; used by a few tests as an alternative metric."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The midpoint of the segment from ``self`` to ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``."""
+        return Point(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __sub__(self, other: "Point") -> tuple[float, float]:
+        return (self.x - other.x, self.y - other.y)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Module-level alias for :meth:`Point.distance_to`.
+
+    The skyline algorithms take a *metric* callable so tests can swap in
+    other metrics; this is the default.
+    """
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """The arithmetic mean of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("centroid() of an empty sequence")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = float(len(points))
+    return Point(sx / n, sy / n)
+
+
+def bounding_coordinates(
+    points: Iterable[Point],
+) -> tuple[float, float, float, float]:
+    """``(min_x, min_y, max_x, max_y)`` over a non-empty iterable."""
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_coordinates() of an empty iterable") from None
+    min_x = max_x = first.x
+    min_y = max_y = first.y
+    for p in it:
+        if p.x < min_x:
+            min_x = p.x
+        elif p.x > max_x:
+            max_x = p.x
+        if p.y < min_y:
+            min_y = p.y
+        elif p.y > max_y:
+            max_y = p.y
+    return (min_x, min_y, max_x, max_y)
+
+
+def total_path_length(points: Sequence[Point]) -> float:
+    """Sum of consecutive segment lengths along a point sequence."""
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))

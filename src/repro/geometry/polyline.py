@@ -1,0 +1,101 @@
+"""Polylines: multi-segment road edge geometry.
+
+The paper notes that a road edge "can be a straight line or a polyline".
+The network model stores an optional polyline per edge; its arc length is
+the edge weight, and object offsets along the edge are resolved to planar
+coordinates by walking the polyline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An immutable chain of two or more vertices."""
+
+    vertices: tuple[Point, ...]
+    _cumulative: tuple[float, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 2:
+            raise ValueError("a polyline needs at least two vertices")
+        cumulative = [0.0]
+        for i in range(len(self.vertices) - 1):
+            step = self.vertices[i].distance_to(self.vertices[i + 1])
+            cumulative.append(cumulative[-1] + step)
+        object.__setattr__(self, "_cumulative", tuple(cumulative))
+
+    @classmethod
+    def straight(cls, a: Point, b: Point) -> "Polyline":
+        """The degenerate two-vertex polyline from ``a`` to ``b``."""
+        return cls((a, b))
+
+    @property
+    def start(self) -> Point:
+        return self.vertices[0]
+
+    @property
+    def end(self) -> Point:
+        return self.vertices[-1]
+
+    @property
+    def length(self) -> float:
+        """Total arc length."""
+        return self._cumulative[-1]
+
+    def segments(self) -> tuple[Segment, ...]:
+        """The chain as individual segments."""
+        return tuple(
+            Segment(self.vertices[i], self.vertices[i + 1])
+            for i in range(len(self.vertices) - 1)
+        )
+
+    def point_at(self, offset: float) -> Point:
+        """The point at arc length ``offset`` from the start (clamped)."""
+        if offset <= 0.0:
+            return self.start
+        if offset >= self.length:
+            return self.end
+        # Binary search over the cumulative arc-length table.
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid
+        seg = Segment(self.vertices[lo], self.vertices[lo + 1])
+        return seg.point_at(offset - self._cumulative[lo])
+
+    def project(self, p: Point) -> tuple[float, Point]:
+        """Closest point on the polyline to ``p``.
+
+        Returns ``(offset, closest)`` with ``offset`` measured from the
+        start vertex along the arc.
+        """
+        best_offset = 0.0
+        best_point = self.start
+        best_dist = p.distance_to(self.start)
+        for i in range(len(self.vertices) - 1):
+            seg = Segment(self.vertices[i], self.vertices[i + 1])
+            seg_offset, closest = seg.project(p)
+            d = p.distance_to(closest)
+            if d < best_dist:
+                best_dist = d
+                best_point = closest
+                best_offset = self._cumulative[i] + seg_offset
+        return (best_offset, best_point)
+
+    def mbr(self) -> MBR:
+        """Tightest axis-aligned bounding rectangle of the vertices."""
+        return MBR.from_points(self.vertices)
+
+    def reversed(self) -> "Polyline":
+        """The polyline traversed from end to start."""
+        return Polyline(tuple(reversed(self.vertices)))

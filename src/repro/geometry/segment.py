@@ -1,0 +1,69 @@
+"""Line segments: projection, interpolation and point-to-segment distance.
+
+Segments model individual road edges (or pieces of polyline edges).  The
+operations here are used when snapping data objects onto network edges and
+when computing the exact location of an object given its offset from an
+edge endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def point_at(self, offset: float) -> Point:
+        """The point at arc-length ``offset`` from ``start``.
+
+        ``offset`` is clamped to ``[0, length]`` so that tiny floating
+        point overshoots from accumulated offsets never raise.
+        """
+        length = self.length
+        if length == 0.0:
+            return self.start
+        t = min(max(offset / length, 0.0), 1.0)
+        return self.start.lerp(self.end, t)
+
+    def point_at_fraction(self, t: float) -> Point:
+        """The point at parametric position ``t`` in ``[0, 1]``."""
+        if not 0.0 <= t <= 1.0:
+            raise ValueError(f"fraction {t!r} outside [0, 1]")
+        return self.start.lerp(self.end, t)
+
+    def project(self, p: Point) -> tuple[float, Point]:
+        """Project ``p`` onto the segment.
+
+        Returns ``(offset, closest)`` where ``offset`` is the arc length
+        from ``start`` to the closest point and ``closest`` is that point.
+        """
+        vx = self.end.x - self.start.x
+        vy = self.end.y - self.start.y
+        denom = vx * vx + vy * vy
+        if denom == 0.0:
+            return (0.0, self.start)
+        t = ((p.x - self.start.x) * vx + (p.y - self.start.y) * vy) / denom
+        t = min(max(t, 0.0), 1.0)
+        closest = self.start.lerp(self.end, t)
+        return (t * self.length, closest)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum Euclidean distance from ``p`` to the segment."""
+        _, closest = self.project(p)
+        return p.distance_to(closest)
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end, self.start)

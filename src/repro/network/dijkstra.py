@@ -1,0 +1,231 @@
+"""Resumable Dijkstra expansion with incremental nearest-object search.
+
+CE (Section 4.1) grows a wavefront around each query point and consumes
+the data objects it meets *in ascending network-distance order*.  The
+:class:`DijkstraExpander` here keeps its wavefront alive between calls
+("the frontier nodes on the wavefront are maintained such that the
+expansion can continue from a previous state", Section 6.1) and exposes
+:meth:`next_nearest_object` — the incremental-network-expansion (INE)
+primitive.
+
+Object discovery follows the middle-layer protocol of Section 3: when
+the wavefront settles a junction, each incident edge is probed for the
+objects lying on it; an object's tentative distance through a settled
+endpoint ``w`` is ``d(source, w) + d(w, p)``.  An object is *emitted*
+(its distance declared final) once its best tentative distance is no
+larger than the smallest key on the node heap — at that point no
+unsettled junction could open a shorter path to it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Protocol
+
+from repro.index.heap import AddressableHeap
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.middle_layer import ObjectPlacement
+from repro.network.objects import SpatialObject
+from repro.network.storage import NetworkStore
+
+INFINITY = math.inf
+
+
+class PlacementSource(Protocol):
+    """Anything that can answer "which objects are on this edge?"."""
+
+    def objects_on(self, edge_id: int) -> list[ObjectPlacement]:
+        """Middle-layer records for one edge (possibly empty)."""
+        ...
+
+
+class DijkstraExpander:
+    """A persistent single-source Dijkstra wavefront over a road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        source: NetworkLocation,
+        store: NetworkStore | None = None,
+        placements: PlacementSource | None = None,
+    ) -> None:
+        self.network = network
+        self.source = source
+        self.store = store
+        self.placements = placements
+
+        self.settled: dict[int, float] = {}
+        self.parent: dict[int, int | None] = {}
+        self._heap: AddressableHeap[int] = AddressableHeap()
+        self.nodes_settled = 0
+        self.relaxations = 0
+
+        # Object bookkeeping.
+        self._object_heap: AddressableHeap[int] = AddressableHeap()
+        self._object_best: dict[int, float] = {}
+        self._object_of: dict[int, SpatialObject] = {}
+        self._emitted: set[int] = set()
+        self._probed_edges: dict[int, list[ObjectPlacement]] = {}
+        self._last_emitted_distance = 0.0
+
+        for node, dist in network.seed_frontier(source):
+            if self._heap.push_or_decrease(node, dist):
+                self.parent[node] = None
+        # Objects sharing the source's edge are reachable along the edge
+        # without passing a junction; seed their candidates directly.
+        if source.edge_id is not None and placements is not None:
+            for placement in self._probe(source.edge_id):
+                direct = abs(placement.dist_from_u - source.offset)
+                self._offer_object(placement.obj, direct)
+
+    # ------------------------------------------------------------------
+    # Node-level expansion
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True when the wavefront can grow no further."""
+        return len(self._heap) == 0
+
+    def frontier_radius(self) -> float:
+        """Distance at which the wavefront currently sits (inf if done).
+
+        This is the exact distance of the *next* node to settle; every
+        unsettled location lies at least this far from the source.
+        """
+        if self._heap:
+            return self._heap.min_priority()
+        return INFINITY
+
+    def expand_next(self) -> tuple[int, float] | None:
+        """Settle the single nearest unsettled node; None when exhausted."""
+        if not self._heap:
+            return None
+        node, dist = self._heap.pop()
+        self.settled[node] = dist
+        self.nodes_settled += 1
+        if self.store is not None:
+            self.store.touch_node(node)
+        for neighbor, edge_id in self.network.neighbors(node):
+            edge = self.network.edge(edge_id)
+            if self.placements is not None:
+                for placement in self._probe(edge_id):
+                    self._offer_object(
+                        placement.obj, dist + placement.distance_from(node, self.network)
+                    )
+            if neighbor in self.settled:
+                continue
+            self.relaxations += 1
+            if self._heap.push_or_decrease(neighbor, dist + edge.length):
+                self.parent[neighbor] = node
+        return (node, dist)
+
+    def distance_to_node(self, node_id: int) -> float:
+        """Exact network distance from the source to a junction.
+
+        Expands as far as necessary; inf when unreachable.
+        """
+        while node_id not in self.settled:
+            if self.expand_next() is None:
+                return INFINITY
+        return self.settled[node_id]
+
+    def distance_to(self, target: NetworkLocation) -> float:
+        """Exact network distance from the source to any location."""
+        if target.node_id is not None:
+            return self.distance_to_node(target.node_id)
+        assert target.edge_id is not None
+        edge = self.network.edge(target.edge_id)
+        candidates = []
+        direct = self.network.direct_edge_distance(self.source, target)
+        if direct is not None:
+            candidates.append(direct)
+        via_u = self.distance_to_node(edge.u)
+        via_v = self.distance_to_node(edge.v)
+        candidates.append(via_u + target.offset)
+        candidates.append(via_v + (edge.length - target.offset))
+        return min(candidates)
+
+    def path_to_node(self, node_id: int) -> list[int]:
+        """Junction sequence of a shortest path (after settling).
+
+        For an on-edge source the first element is the seed endpoint the
+        path leaves through.
+        """
+        if node_id not in self.settled:
+            if self.distance_to_node(node_id) == INFINITY:
+                raise ValueError(f"node {node_id} is unreachable from the source")
+        path: list[int] = []
+        cursor: int | None = node_id
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.parent[cursor]
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Incremental nearest-object enumeration (INE)
+    # ------------------------------------------------------------------
+    def _probe(self, edge_id: int) -> list[ObjectPlacement]:
+        """Middle-layer probe with an in-wavefront cache.
+
+        The disk probe (and its page charges) happens once per edge; the
+        second endpoint reuses the wavefront's hash-table copy, as the
+        paper's maintained-state searches do.
+        """
+        cached = self._probed_edges.get(edge_id)
+        if cached is None:
+            assert self.placements is not None
+            cached = self.placements.objects_on(edge_id)
+            self._probed_edges[edge_id] = cached
+        return cached
+
+    def _offer_object(self, obj: SpatialObject, distance: float) -> None:
+        if obj.object_id in self._emitted:
+            return
+        best = self._object_best.get(obj.object_id)
+        if best is not None and best <= distance:
+            return
+        self._object_best[obj.object_id] = distance
+        self._object_of[obj.object_id] = obj
+        self._object_heap.update(obj.object_id, distance)
+
+    def next_nearest_object(self) -> tuple[SpatialObject, float] | None:
+        """The next unvisited object in ascending network distance.
+
+        Returns ``(object, network_distance)`` or None once every
+        reachable object has been emitted.
+        """
+        if self.placements is None:
+            raise RuntimeError("expander was built without a placement source")
+        while True:
+            if self._object_heap:
+                candidate_dist = self._object_heap.min_priority()
+                if not self._heap or candidate_dist <= self._heap.min_priority():
+                    object_id, dist = self._object_heap.pop()
+                    del self._object_best[object_id]
+                    self._emitted.add(object_id)
+                    self._last_emitted_distance = dist
+                    return (self._object_of.pop(object_id), dist)
+            if self.expand_next() is None:
+                return None
+
+    def iter_objects(self) -> Iterator[tuple[SpatialObject, float]]:
+        """All reachable objects in ascending network distance."""
+        while True:
+            item = self.next_nearest_object()
+            if item is None:
+                return
+            yield item
+
+    @property
+    def visited_object_count(self) -> int:
+        """Objects emitted so far."""
+        return len(self._emitted)
+
+    @property
+    def last_emitted_distance(self) -> float:
+        """Network distance of the most recently emitted object."""
+        return self._last_emitted_distance
+
+    def has_visited(self, object_id: int) -> bool:
+        return object_id in self._emitted

@@ -1,0 +1,212 @@
+"""The paper's *middle layer*: partially materialised object↔edge mapping.
+
+Section 3: "If an object ``p`` is on a network edge ``e`` between two
+adjacent nodes ``v, v'``, the distances ``d(v, p)`` and ``d(v', p)`` are
+pre-computed, and the id of ``e`` is stored in the middle layer with the
+id of ``p`` and the two pre-computed distances.  This middle layer can
+be indexed using a B+-tree on edge ids."
+
+The middle layer decouples the network model from any specific object
+set (unlike the hard-coded linkage of [26]) while avoiding the online
+geometric mapping cost of [22].  Wavefront algorithms probe it once per
+visited edge; each probe is a B+-tree search whose page accesses are
+charged to the layer's pager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.index.bptree import DEFAULT_ORDER, BPlusTree
+from repro.network.graph import RoadNetwork
+from repro.network.objects import ObjectSet, SpatialObject
+from repro.storage.binding import NodePager
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectPlacement:
+    """One middle-layer record: an object with its edge-end distances."""
+
+    obj: SpatialObject
+    edge_id: int
+    dist_from_u: float
+    dist_from_v: float
+
+    def distance_from(self, node_id: int, network: RoadNetwork) -> float:
+        """Pre-computed along-edge distance from an endpoint to the object."""
+        edge = network.edge(self.edge_id)
+        if node_id == edge.u:
+            return self.dist_from_u
+        if node_id == edge.v:
+            return self.dist_from_v
+        raise ValueError(f"node {node_id} is not an end of edge {self.edge_id}")
+
+
+def placements_for(network: RoadNetwork, obj: SpatialObject) -> list[ObjectPlacement]:
+    """The middle-layer records one object contributes.
+
+    Edge-resident objects yield one record; node-resident objects yield
+    one per incident edge with a zero offset from that junction.
+    """
+    loc = obj.location
+    if loc.edge_id is not None:
+        edge = network.edge(loc.edge_id)
+        return [
+            ObjectPlacement(
+                obj=obj,
+                edge_id=loc.edge_id,
+                dist_from_u=loc.offset,
+                dist_from_v=edge.length - loc.offset,
+            )
+        ]
+    assert loc.node_id is not None
+    placements = []
+    for _, edge_id in network.neighbors(loc.node_id):
+        edge = network.edge(edge_id)
+        at_u = loc.node_id == edge.u
+        placements.append(
+            ObjectPlacement(
+                obj=obj,
+                edge_id=edge_id,
+                dist_from_u=0.0 if at_u else edge.length,
+                dist_from_v=edge.length if at_u else 0.0,
+            )
+        )
+    return placements
+
+
+class MiddleLayer:
+    """B+-tree-indexed mapping from edge ids to the objects on them.
+
+    Node-resident objects are attached to every incident edge with a
+    zero offset from that node, so a wavefront discovers them as soon as
+    it settles the junction.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        placements: Iterable[ObjectPlacement],
+        order: int = DEFAULT_ORDER,
+        pager: NodePager | None = None,
+    ) -> None:
+        self._network = network
+        self._pager = pager
+        self._index: BPlusTree[int, ObjectPlacement] = BPlusTree.bulk_load(
+            ((p.edge_id, p) for p in placements), order=order, pager=pager
+        )
+        self.probe_count = 0
+
+    @classmethod
+    def build(
+        cls,
+        objects: ObjectSet,
+        order: int = DEFAULT_ORDER,
+        pager: NodePager | None = None,
+    ) -> "MiddleLayer":
+        """Materialise the layer from an object set."""
+        network = objects.network
+        placements: list[ObjectPlacement] = []
+        for obj in objects:
+            placements.extend(placements_for(network, obj))
+        return cls(network, placements, order=order, pager=pager)
+
+    def objects_on(self, edge_id: int) -> list[ObjectPlacement]:
+        """Middle-layer probe for one edge (charged as a B+-tree search)."""
+        self.probe_count += 1
+        return self._index.search(edge_id)
+
+    def add_object(self, obj) -> None:
+        """Materialise placements for a newly added object."""
+        for placement in placements_for(self._network, obj):
+            self._index.insert(placement.edge_id, placement)
+
+    def remove_object(self, obj) -> int:
+        """Drop every placement of an object; returns how many."""
+        removed = 0
+        for placement in placements_for(self._network, obj):
+            for existing in self._index.search(placement.edge_id):
+                if existing.obj.object_id == obj.object_id:
+                    removed += self._index.delete(placement.edge_id, existing)
+        return removed
+
+    def has_objects(self, edge_id: int) -> bool:
+        """Cheap existence check, also via the B+-tree."""
+        self.probe_count += 1
+        return self._index.contains(edge_id)
+
+    @property
+    def placement_count(self) -> int:
+        """Total records (a node object appears once per incident edge)."""
+        return len(self._index)
+
+    @property
+    def stats(self):
+        """The pager's I/O stats, or None when unpaged."""
+        return self._pager.stats if self._pager is not None else None
+
+
+class InMemoryPlacements:
+    """A placement source backed by plain dictionaries (no paging).
+
+    Behaviourally identical to :class:`MiddleLayer` — including the
+    attachment of node-resident objects to every incident edge — but
+    without simulated I/O.  Used by unit tests and by callers that only
+    want answers, not cost accounting.
+    """
+
+    def __init__(self, objects: ObjectSet) -> None:
+        network = objects.network
+        self._network = network
+        self._by_edge: dict[int, list[ObjectPlacement]] = {}
+        for obj in objects:
+            loc = obj.location
+            if loc.edge_id is not None:
+                edge = network.edge(loc.edge_id)
+                self._by_edge.setdefault(loc.edge_id, []).append(
+                    ObjectPlacement(
+                        obj=obj,
+                        edge_id=loc.edge_id,
+                        dist_from_u=loc.offset,
+                        dist_from_v=edge.length - loc.offset,
+                    )
+                )
+            else:
+                assert loc.node_id is not None
+                for _, edge_id in network.neighbors(loc.node_id):
+                    edge = network.edge(edge_id)
+                    at_u = loc.node_id == edge.u
+                    self._by_edge.setdefault(edge_id, []).append(
+                        ObjectPlacement(
+                            obj=obj,
+                            edge_id=edge_id,
+                            dist_from_u=0.0 if at_u else edge.length,
+                            dist_from_v=edge.length if at_u else 0.0,
+                        )
+                    )
+        self.probe_count = 0
+
+    def objects_on(self, edge_id: int) -> list[ObjectPlacement]:
+        """Placement records for one edge (possibly empty)."""
+        self.probe_count += 1
+        return self._by_edge.get(edge_id, [])
+
+    def add_object(self, obj) -> None:
+        """Register placements for a newly added object."""
+        for placement in placements_for(self._network, obj):
+            self._by_edge.setdefault(placement.edge_id, []).append(placement)
+
+    def remove_object(self, obj) -> int:
+        """Drop every placement of an object; returns how many."""
+        removed = 0
+        for placement in placements_for(self._network, obj):
+            bucket = self._by_edge.get(placement.edge_id, [])
+            before = len(bucket)
+            bucket[:] = [
+                p for p in bucket if p.obj.object_id != obj.object_id
+            ]
+            removed += before - len(bucket)
+            if not bucket:
+                self._by_edge.pop(placement.edge_id, None)
+        return removed

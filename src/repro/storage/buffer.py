@@ -1,0 +1,118 @@
+"""Buffer pool over the simulated disk, with pluggable replacement.
+
+The paper runs every experiment behind a **1 MiB LRU buffer** of
+**4 KiB pages** (256 frames).  :class:`BufferPool` reproduces that cost
+model: a page request is a *hit* (free) when the page is resident, a
+*miss* (one physical read) otherwise.  LRU is the default (and the
+paper's) policy; FIFO and CLOCK (second-chance) are provided for the
+replacement-policy ablation in the benchmarks — CLOCK is what real
+buffer managers approximate LRU with.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+from repro.storage.stats import IOStats
+
+DEFAULT_BUFFER_BYTES = 1024 * 1024
+"""Default total buffer size (1 MiB), matching the paper's setup."""
+
+REPLACEMENT_POLICIES = ("lru", "fifo", "clock")
+
+
+class BufferPool:
+    """Fixed-capacity page cache with hit/miss accounting."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity_bytes: int = DEFAULT_BUFFER_BYTES,
+        stats: IOStats | None = None,
+        policy: str = "lru",
+    ) -> None:
+        frames = capacity_bytes // disk.page_size
+        if frames < 1:
+            raise ValueError(
+                f"buffer of {capacity_bytes} bytes holds no "
+                f"{disk.page_size}-byte page"
+            )
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {policy!r}; "
+                f"choose from {REPLACEMENT_POLICIES}"
+            )
+        self._disk = disk
+        self._frames = frames
+        self._policy = policy
+        self._resident: OrderedDict[int, Page] = OrderedDict()
+        # CLOCK state: reference bits per resident page and a hand over
+        # the insertion order.
+        self._referenced: dict[int, bool] = {}
+        self.stats = stats if stats is not None else IOStats()
+
+    @property
+    def frame_count(self) -> int:
+        """Number of page frames in the pool."""
+        return self._frames
+
+    @property
+    def resident_count(self) -> int:
+        """Pages currently cached."""
+        return len(self._resident)
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    def fetch(self, page_id: int) -> Page:
+        """Return a page, updating replacement state and counters."""
+        page = self._resident.get(page_id)
+        if page is not None:
+            self.stats.record_read(hit=True)
+            if self._policy == "lru":
+                self._resident.move_to_end(page_id)
+            elif self._policy == "clock":
+                self._referenced[page_id] = True
+            return page
+        page = self._disk.read(page_id)
+        self.stats.record_read(hit=False)
+        if len(self._resident) >= self._frames:
+            self._evict()
+        self._resident[page_id] = page
+        if self._policy == "clock":
+            self._referenced[page_id] = False
+        return page
+
+    def _evict(self) -> None:
+        if self._policy in ("lru", "fifo"):
+            # LRU keeps recency order by move_to_end; FIFO never
+            # reorders, so the head is the oldest either way.
+            self._resident.popitem(last=False)
+            return
+        # CLOCK: sweep in residence order, clearing reference bits,
+        # evicting the first unreferenced page.
+        while True:
+            page_id, page = next(iter(self._resident.items()))
+            if self._referenced.get(page_id, False):
+                self._referenced[page_id] = False
+                self._resident.move_to_end(page_id)
+            else:
+                del self._resident[page_id]
+                self._referenced.pop(page_id, None)
+                return
+
+    def is_resident(self, page_id: int) -> bool:
+        """True if the page is currently cached (no state change)."""
+        return page_id in self._resident
+
+    def clear(self) -> None:
+        """Drop every cached page (a 'cold' restart between experiments)."""
+        self._resident.clear()
+        self._referenced.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without evicting pages."""
+        self.stats.reset()

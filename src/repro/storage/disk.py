@@ -1,0 +1,59 @@
+"""The simulated disk: a flat address space of pages.
+
+:class:`DiskManager` owns every page of one storage stack and hands out
+new page ids.  All *reads must go through a buffer pool* — the manager
+itself only counts raw accesses, the pool adds LRU caching on top.
+"""
+
+from __future__ import annotations
+
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+class DiskManager:
+    """Allocates and serves fixed-size pages, counting raw accesses."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size}")
+        self._page_size = page_size
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+        self.raw_reads = 0
+        self.raw_writes = 0
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> Page:
+        """Create a fresh empty page and return it."""
+        page = Page(page_id=self._next_id, capacity=self._page_size)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        self.raw_writes += 1
+        return page
+
+    def read(self, page_id: int) -> Page:
+        """Fetch a page from 'disk' (one raw read)."""
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(f"no page with id {page_id}") from None
+        self.raw_reads += 1
+        return page
+
+    def exists(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def page_ids(self) -> list[int]:
+        """All allocated page ids in allocation order."""
+        return sorted(self._pages)
+
+
+class PageNotFoundError(KeyError):
+    """Raised when a page id does not exist on the simulated disk."""

@@ -1,0 +1,65 @@
+"""Fixed-size disk pages.
+
+A :class:`Page` is a container of opaque records with byte-size
+accounting.  The library does not serialise to real bytes — it is a cost
+model, not a persistence layer — but each record carries an explicit size
+estimate so that pages fill and overflow exactly like 4 KiB disk pages
+would, which is what makes the paper's page-access counts meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+DEFAULT_PAGE_SIZE = 4096
+"""Page size in bytes used throughout the paper's experiments (4 KiB)."""
+
+PAGE_HEADER_SIZE = 32
+"""Bytes reserved per page for header bookkeeping in the cost model."""
+
+
+@dataclass
+class Page:
+    """A fixed-capacity page holding ``(record, size)`` pairs."""
+
+    page_id: int
+    capacity: int = DEFAULT_PAGE_SIZE
+    used: int = PAGE_HEADER_SIZE
+    records: list[Any] = field(default_factory=list)
+    _sizes: list[int] = field(default_factory=list)
+
+    def fits(self, record_size: int) -> bool:
+        """True if a record of ``record_size`` bytes would fit."""
+        return self.used + record_size <= self.capacity
+
+    def add(self, record: Any, record_size: int) -> None:
+        """Append a record, raising :class:`PageOverflowError` if full."""
+        if record_size <= 0:
+            raise ValueError(f"record size must be positive, got {record_size}")
+        if not self.fits(record_size):
+            raise PageOverflowError(
+                f"page {self.page_id}: record of {record_size} bytes does not fit "
+                f"({self.used}/{self.capacity} used)"
+            )
+        self.records.append(record)
+        self._sizes.append(record_size)
+        self.used += record_size
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class PageOverflowError(RuntimeError):
+    """Raised when a record is added to a page without room for it."""

@@ -1,0 +1,253 @@
+"""Dependency-free SVG rendering of networks, queries and results.
+
+Road-network algorithms are spatial; seeing them beats reading their
+statistics.  This module draws:
+
+* the network's edges (polyline geometry respected);
+* data objects, query points, skyline members;
+* routes (e.g. from :func:`repro.network.shortest_path.route_to`);
+* an expander's settled region (the wavefront footprint — the very
+  quantity the paper's cost model counts).
+
+Everything is plain SVG text assembled by hand, so the library stays
+free of plotting dependencies; tests validate the output with the
+standard-library XML parser.
+
+Example::
+
+    from repro.viz import render_query, save_svg
+
+    result = LBC().run(workspace, queries)
+    save_svg(render_query(workspace, queries, result), "skyline.svg")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+from xml.sax.saxutils import escape
+
+from repro.core.query import Workspace
+from repro.core.result import SkylineResult
+from repro.geometry.point import Point
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+PALETTE = {
+    "edge": "#b8c0c8",
+    "node": "#8a949e",
+    "object": "#4878d0",
+    "skyline": "#d65f5f",
+    "query": "#2e7d32",
+    "route": "#ee854a",
+    "wavefront": "#f2c14e",
+    "background": "#ffffff",
+    "label": "#333333",
+}
+
+
+class NetworkRenderer:
+    """Accumulates layers over one network and emits an SVG document."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        width: int = 800,
+        height: int = 800,
+        padding: int = 24,
+    ) -> None:
+        if network.node_count == 0:
+            raise ValueError("cannot render an empty network")
+        if width < 2 * padding or height < 2 * padding:
+            raise ValueError("canvas smaller than its padding")
+        self.network = network
+        self.width = width
+        self.height = height
+        self.padding = padding
+        box = network.mbr()
+        self._min_x, self._min_y = box.min_x, box.min_y
+        self._span_x = box.width or 1.0
+        self._span_y = box.height or 1.0
+        self._layers: list[str] = []
+        self._draw_network()
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping (flip y: SVG grows downward)
+    # ------------------------------------------------------------------
+    def _sx(self, x: float) -> float:
+        usable = self.width - 2 * self.padding
+        return self.padding + (x - self._min_x) / self._span_x * usable
+
+    def _sy(self, y: float) -> float:
+        usable = self.height - 2 * self.padding
+        return self.height - self.padding - (y - self._min_y) / self._span_y * usable
+
+    def _map(self, p: Point) -> tuple[float, float]:
+        return (round(self._sx(p.x), 2), round(self._sy(p.y), 2))
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def _draw_network(self) -> None:
+        parts = [f'<g stroke="{PALETTE["edge"]}" stroke-width="1" fill="none">']
+        for edge in self.network.edges():
+            if edge.geometry is not None:
+                coords = " ".join(
+                    f"{x},{y}"
+                    for x, y in (self._map(v) for v in edge.geometry.vertices)
+                )
+                parts.append(f'<polyline points="{coords}"/>')
+            else:
+                x1, y1 = self._map(self.network.node_point(edge.u))
+                x2, y2 = self._map(self.network.node_point(edge.v))
+                parts.append(f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}"/>')
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+
+    def add_nodes(self, radius: float = 1.2) -> "NetworkRenderer":
+        """Draw every junction as a small dot."""
+        parts = [f'<g fill="{PALETTE["node"]}">']
+        for node_id in self.network.node_ids():
+            x, y = self._map(self.network.node_point(node_id))
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{radius}"/>')
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+        return self
+
+    def add_points(
+        self,
+        points: Iterable[Point],
+        color: str,
+        radius: float = 3.5,
+        css_class: str = "points",
+    ) -> "NetworkRenderer":
+        """Draw a set of planar points as filled circles."""
+        parts = [f'<g class="{escape(css_class)}" fill="{color}">']
+        for p in points:
+            x, y = self._map(p)
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{radius}"/>')
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+        return self
+
+    def add_objects(
+        self, objects: Iterable, radius: float = 2.5
+    ) -> "NetworkRenderer":
+        """Draw spatial objects (anything with a ``point`` attribute)."""
+        return self.add_points(
+            (obj.point for obj in objects),
+            PALETTE["object"],
+            radius=radius,
+            css_class="objects",
+        )
+
+    def add_queries(
+        self, queries: Iterable[NetworkLocation], size: float = 6.0
+    ) -> "NetworkRenderer":
+        """Draw query points as green diamonds."""
+        parts = [f'<g class="queries" fill="{PALETTE["query"]}">']
+        for q in queries:
+            x, y = self._map(q.point)
+            s = size
+            parts.append(
+                f'<polygon points="{x},{y - s} {x + s},{y} {x},{y + s} '
+                f'{x - s},{y}"/>'
+            )
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+        return self
+
+    def add_skyline(
+        self, result: SkylineResult, radius: float = 4.5
+    ) -> "NetworkRenderer":
+        """Highlight skyline members as red rings."""
+        parts = [
+            f'<g class="skyline" fill="none" stroke="{PALETTE["skyline"]}" '
+            'stroke-width="2">'
+        ]
+        for point in result:
+            x, y = self._map(point.obj.point)
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{radius}"/>')
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+        return self
+
+    def add_route(
+        self, route: Sequence[NetworkLocation], width: float = 2.5
+    ) -> "NetworkRenderer":
+        """Draw a route (from :func:`repro.network.route_to`)."""
+        if len(route) < 2:
+            return self
+        coords = " ".join(
+            f"{x},{y}" for x, y in (self._map(loc.point) for loc in route)
+        )
+        self._layers.append(
+            f'<polyline class="route" points="{coords}" fill="none" '
+            f'stroke="{PALETTE["route"]}" stroke-width="{width}" '
+            'stroke-linecap="round"/>'
+        )
+        return self
+
+    def add_wavefront(
+        self, settled: Iterable[int], radius: float = 2.0
+    ) -> "NetworkRenderer":
+        """Shade the settled junctions of an expander (its footprint)."""
+        parts = [
+            f'<g class="wavefront" fill="{PALETTE["wavefront"]}" '
+            'fill-opacity="0.6">'
+        ]
+        for node_id in settled:
+            x, y = self._map(self.network.node_point(node_id))
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{radius}"/>')
+        parts.append("</g>")
+        self._layers.append("".join(parts))
+        return self
+
+    def add_title(self, text: str) -> "NetworkRenderer":
+        self._layers.append(
+            f'<text x="{self.padding}" y="{self.padding - 6}" '
+            f'fill="{PALETTE["label"]}" font-family="sans-serif" '
+            f'font-size="13">{escape(text)}</text>'
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        body = "\n".join(self._layers)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="{PALETTE["background"]}"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def render_query(
+    workspace: Workspace,
+    queries: Sequence[NetworkLocation],
+    result: SkylineResult | None = None,
+    title: str | None = None,
+    width: int = 800,
+    height: int = 800,
+) -> str:
+    """One-call picture of a query: network, objects, queries, skyline."""
+    renderer = NetworkRenderer(workspace.network, width=width, height=height)
+    renderer.add_objects(workspace.objects)
+    renderer.add_queries(queries)
+    if result is not None:
+        renderer.add_skyline(result)
+        if title is None:
+            title = (
+                f"{result.stats.algorithm}: {len(result)} skyline points, "
+                f"|Q|={len(queries)}, |D|={len(workspace.objects)}"
+            )
+    if title:
+        renderer.add_title(title)
+    return renderer.to_svg()
+
+
+def save_svg(svg_text: str, path) -> None:
+    """Write SVG text to a file."""
+    from pathlib import Path
+
+    Path(path).write_text(svg_text)

@@ -1,0 +1,178 @@
+"""Tests for the command-line interface."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli")
+    net = base / "net.net"
+    obj = base / "obj.obj"
+    code = main(
+        [
+            "generate",
+            "--nodes", "200",
+            "--seed", "3",
+            "--out", str(net),
+            "--objects", str(obj),
+            "--omega", "0.4",
+        ]
+    )
+    assert code == 0
+    return net, obj
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_algorithms_exposed(self):
+        assert set(ALGORITHMS) == {
+            "CE", "EDC", "EDC-inc", "LBC", "LBC-lazy", "LBC-rr", "naive",
+        }
+
+
+class TestGenerate:
+    def test_generate_preset(self, tmp_path, capsys):
+        out = tmp_path / "ca.net"
+        code = main(
+            ["generate", "--preset", "CA", "--scale", "0.05", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "junctions" in capsys.readouterr().out
+
+    def test_generate_without_source_fails(self, tmp_path, capsys):
+        code = main(["generate", "--out", str(tmp_path / "x.net")])
+        assert code == 2
+        assert "preset or --nodes" in capsys.readouterr().err
+
+    def test_generated_files_load(self, dataset):
+        from repro.datasets import load_network, load_objects
+
+        net_path, obj_path = dataset
+        network = load_network(net_path)
+        objects = load_objects(network, obj_path)
+        assert network.node_count == 200
+        assert len(objects) == round(0.4 * network.edge_count)
+
+
+class TestInfo:
+    def test_info_output(self, dataset, capsys):
+        net_path, _ = dataset
+        assert main(["info", str(net_path)]) == 0
+        out = capsys.readouterr().out
+        assert "junctions:      200" in out
+        assert "connected:" in out
+
+    def test_info_with_delta(self, dataset, capsys):
+        net_path, _ = dataset
+        assert main(["info", str(net_path), "--delta"]) == 0
+        assert "delta" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_with_random_queries(self, dataset, capsys):
+        net_path, obj_path = dataset
+        code = main(
+            [
+                "query", str(net_path), str(obj_path),
+                "--random-queries", "3", "--seed", "9", "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skyline points (LBC)" in out
+        assert "candidates=" in out
+
+    def test_query_with_explicit_nodes(self, dataset, capsys):
+        net_path, obj_path = dataset
+        code = main(
+            [
+                "query", str(net_path), str(obj_path),
+                "--query-nodes", "1", "17", "--algorithm", "CE",
+            ]
+        )
+        assert code == 0
+        assert "(CE)" in capsys.readouterr().out
+
+    def test_query_unknown_node_fails(self, dataset, capsys):
+        net_path, obj_path = dataset
+        code = main(
+            ["query", str(net_path), str(obj_path), "--query-nodes", "99999"]
+        )
+        assert code == 2
+        assert "unknown junction" in capsys.readouterr().err
+
+    def test_all_algorithms_agree_via_cli(self, dataset, capsys):
+        net_path, obj_path = dataset
+        answers = {}
+        for name in ("CE", "EDC", "LBC", "naive"):
+            main(
+                [
+                    "query", str(net_path), str(obj_path),
+                    "--query-nodes", "5", "40", "90",
+                    "--algorithm", name,
+                ]
+            )
+            out = capsys.readouterr().out
+            ids = sorted(
+                int(line.split()[0])
+                for line in out.splitlines()
+                if line.strip() and line.split()[0].isdigit()
+            )
+            answers[name] = ids
+        assert len({tuple(v) for v in answers.values()}) == 1
+
+    def test_query_writes_svg(self, dataset, tmp_path, capsys):
+        net_path, obj_path = dataset
+        svg = tmp_path / "q.svg"
+        code = main(
+            [
+                "query", str(net_path), str(obj_path),
+                "--random-queries", "2", "--svg", str(svg),
+            ]
+        )
+        assert code == 0
+        ET.fromstring(svg.read_text())
+
+
+class TestRoute:
+    def test_route_between_junctions(self, dataset, capsys):
+        net_path, _ = dataset
+        assert main(["route", str(net_path), "0", "50"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("0 ")
+        assert "distance:" in out
+
+    def test_route_unknown_node(self, dataset, capsys):
+        net_path, _ = dataset
+        assert main(["route", str(net_path), "0", "99999"]) == 2
+
+
+class TestJSONOutput:
+    def test_query_writes_json(self, dataset, tmp_path, capsys):
+        import json
+
+        net_path, obj_path = dataset
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "query", str(net_path), str(obj_path),
+                "--query-nodes", "5", "40",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["algorithm"] == "LBC"
+        assert len(payload["query_points"]) == 2
+        assert payload["skyline"]
+        for point in payload["skyline"]:
+            assert len(point["vector"]) == 2
+        assert payload["stats"]["|Q|"] == 2

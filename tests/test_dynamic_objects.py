@@ -1,0 +1,120 @@
+"""Dynamic object updates: the workspace stays consistent under churn."""
+
+import random
+
+import pytest
+
+from repro.core import CE, EDC, LBC, NaiveSkyline, Workspace
+from repro.network import SpatialObject
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+
+def fresh_workspace(seed, paged, attribute_count=0):
+    network = build_random_network(60, 40, seed=seed, detour_max=0.7)
+    objects = place_random_objects(
+        network, 30, seed=seed + 1, attribute_count=attribute_count
+    )
+    return network, Workspace.build(network, objects, paged=paged)
+
+
+def object_on_edge(network, object_id, edge_index=0, fraction=0.5, attrs=()):
+    edge = sorted(network.edges(), key=lambda e: e.edge_id)[edge_index]
+    loc = network.location_on_edge(edge.edge_id, edge.length * fraction)
+    return SpatialObject(object_id, loc, attrs)
+
+
+class TestAddObject:
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_added_object_visible_to_queries(self, paged):
+        network, workspace = fresh_workspace(1001, paged)
+        queries = random_locations(network, 2, seed=1002)
+        # Place the new object exactly on the first query point's
+        # location (if on an edge) or adjacent — it must dominate
+        # everything in that dimension and join the skyline.
+        new = SpatialObject(9000, queries[0])
+        workspace.add_object(new)
+        result = LBC().run(workspace, queries)
+        assert 9000 in result.object_ids()
+        assert result.same_answer(NaiveSkyline().run(workspace, queries))
+
+    def test_duplicate_id_rejected(self):
+        network, workspace = fresh_workspace(1011, paged=False)
+        with pytest.raises(ValueError):
+            workspace.add_object(object_on_edge(network, 0))
+
+    def test_attribute_mismatch_rejected(self):
+        network, workspace = fresh_workspace(1021, paged=False, attribute_count=1)
+        with pytest.raises(ValueError):
+            workspace.add_object(object_on_edge(network, 9000, attrs=()))
+
+    def test_counts_update(self):
+        network, workspace = fresh_workspace(1031, paged=False)
+        before = len(workspace.objects)
+        workspace.add_object(object_on_edge(network, 9000))
+        assert len(workspace.objects) == before + 1
+        assert len(list(workspace.object_rtree.all_entries())) == before + 1
+
+
+class TestRemoveObject:
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_removed_object_gone_from_answers(self, paged):
+        network, workspace = fresh_workspace(1041, paged)
+        queries = random_locations(network, 2, seed=1042)
+        result = LBC().run(workspace, queries)
+        victim = result.points[0].object_id
+        workspace.remove_object(victim)
+        after = LBC().run(workspace, queries)
+        assert victim not in after.object_ids()
+        assert after.same_answer(NaiveSkyline().run(workspace, queries))
+
+    def test_remove_unknown_raises(self):
+        _, workspace = fresh_workspace(1051, paged=False)
+        with pytest.raises(KeyError):
+            workspace.remove_object(424242)
+
+    def test_remove_then_readd(self):
+        network, workspace = fresh_workspace(1061, paged=False)
+        obj = workspace.objects.get(5)
+        workspace.remove_object(5)
+        workspace.add_object(obj)
+        queries = random_locations(network, 2, seed=1062)
+        assert LBC().run(workspace, queries).same_answer(
+            NaiveSkyline().run(workspace, queries)
+        )
+
+    def test_middle_layer_consistent_after_removal(self):
+        network, workspace = fresh_workspace(1071, paged=True)
+        obj = workspace.objects.get(3)
+        edge_id = obj.location.edge_id
+        workspace.remove_object(3)
+        remaining = workspace.middle.objects_on(edge_id)
+        assert all(p.obj.object_id != 3 for p in remaining)
+
+
+class TestChurn:
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_random_churn_keeps_algorithms_agreeing(self, paged):
+        rng = random.Random(77)
+        network, workspace = fresh_workspace(1081, paged)
+        queries = random_locations(network, 3, seed=1082)
+        next_id = 10_000
+        edge_ids = sorted(network.edge_ids())
+        for step in range(25):
+            if len(workspace.objects) > 5 and rng.random() < 0.5:
+                victim = rng.choice(sorted(o.object_id for o in workspace.objects))
+                workspace.remove_object(victim)
+            else:
+                edge = network.edge(rng.choice(edge_ids))
+                loc = network.location_on_edge(
+                    edge.edge_id, edge.length * rng.uniform(0.05, 0.95)
+                )
+                workspace.add_object(SpatialObject(next_id, loc))
+                next_id += 1
+            if step % 5 == 4:
+                reference = NaiveSkyline().run(workspace, queries)
+                for algorithm in (CE(), EDC(), LBC()):
+                    assert algorithm.run(workspace, queries).same_answer(
+                        reference
+                    ), f"step {step}: {algorithm.name}"
+        workspace.object_rtree.validate()

@@ -1,0 +1,154 @@
+"""Tests for the experiment harness, figure runners and reporting."""
+
+import pytest
+
+from repro.core import CE, LBC
+from repro.experiments import (
+    ExperimentConfig,
+    WorkloadCache,
+    format_series,
+    run_experiment,
+    run_fig4a,
+    winner_summary,
+)
+from repro.experiments.figures import FigureSeries
+from repro.experiments.harness import AggregateStats
+
+
+TINY = ExperimentConfig(
+    network="CA", scale=0.03, omega=0.3, query_count=2, trials=2
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return WorkloadCache()
+
+
+class TestExperimentConfig:
+    def test_with_creates_modified_copy(self):
+        base = ExperimentConfig()
+        changed = base.with_(query_count=8)
+        assert changed.query_count == 8
+        assert base.query_count == 4
+        assert changed.network == base.network
+
+    def test_defaults_match_paper(self):
+        base = ExperimentConfig()
+        assert base.network == "NA"
+        assert base.omega == 0.50
+        assert base.query_count == 4
+        assert base.region_fraction == 0.10
+
+
+class TestWorkloadCache:
+    def test_workspace_reused(self, cache):
+        a = cache.workspace(TINY)
+        b = cache.workspace(TINY)
+        assert a is b
+
+    def test_different_omega_different_workspace(self, cache):
+        a = cache.workspace(TINY)
+        b = cache.workspace(TINY.with_(omega=0.6))
+        assert a is not b
+
+    def test_network_shared_across_omegas(self, cache):
+        a = cache.workspace(TINY)
+        b = cache.workspace(TINY.with_(omega=0.6))
+        assert a.network is b.network
+
+    def test_clear(self):
+        local = WorkloadCache()
+        first = local.workspace(TINY)
+        local.clear()
+        assert local.workspace(TINY) is not first
+
+
+class TestRunExperiment:
+    def test_aggregates_all_algorithms(self, cache):
+        out = run_experiment(TINY, [CE(), LBC()], cache=cache)
+        assert set(out) == {"CE", "LBC"}
+        for aggregate in out.values():
+            assert aggregate.trials == 2
+            assert aggregate.skyline_count >= 1
+            assert aggregate.total_response_s > 0
+
+    def test_metric_lookup(self, cache):
+        out = run_experiment(TINY, [LBC()], cache=cache)
+        aggregate = out["LBC"]
+        assert aggregate.metric("candidate_ratio") == aggregate.candidate_ratio
+
+    def test_aggregate_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateStats.from_stats([])
+
+
+class TestFigureRunners:
+    def test_fig4a_structure(self, cache):
+        series = run_fig4a(TINY, q_values=(2, 3), cache=cache)
+        assert series.figure == "Fig4a"
+        assert series.x_values == [2, 3]
+        assert set(series.series) == {"CE", "EDC", "LBC"}
+        for values in series.series.values():
+            assert len(values) == 2
+            assert all(0 <= v <= 1 for v in values)
+
+    def test_format_series_contains_rows(self, cache):
+        series = run_fig4a(TINY, q_values=(2,), cache=cache)
+        text = format_series(series)
+        assert "Fig4a" in text
+        assert "LBC" in text
+        assert "|C|/|D|" in text
+
+    def test_winner_summary(self):
+        series = FigureSeries(
+            figure="X", title="t", x_label="x", y_label="y",
+            x_values=[1, 2],
+            series={"A": [1.0, 5.0], "B": [2.0, 1.0]},
+        )
+        assert winner_summary(series) == {"A": 1, "B": 1}
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def tiny_cache(self):
+        return WorkloadCache()
+
+    def test_plb_ablation_structure(self, tiny_cache):
+        from repro.experiments import run_ablation_plb
+
+        series = run_ablation_plb(TINY, tiny_cache)
+        assert set(series.series) == {"LBC", "LBC-noplb"}
+        assert series.x_values == ["CA", "AU", "NA"]
+
+    def test_lazy_ablation_lazy_never_worse_overall(self, tiny_cache):
+        from repro.experiments import run_ablation_lazy
+
+        series = run_ablation_lazy(TINY, tiny_cache)
+        total_eager = sum(series.series["LBC"])
+        total_lazy = sum(series.series["LBC-lazy"])
+        assert total_lazy <= total_eager * 1.2
+
+    def test_heuristic_ablation(self, tiny_cache):
+        from repro.experiments import run_ablation_heuristic
+
+        series = run_ablation_heuristic(TINY, tiny_cache, landmark_count=4)
+        assert set(series.series) == {"LBC", "LBC-landmarks"}
+        lbc, alt = series.series["LBC"][0], series.series["LBC-landmarks"][0]
+        assert alt <= lbc
+
+    def test_ce_strategy_ablation(self, tiny_cache):
+        from repro.experiments import run_ablation_ce_strategy
+
+        series = run_ablation_ce_strategy(TINY, tiny_cache)
+        assert set(series.series) == {"CE", "CE-min-radius"}
+
+    def test_buffer_ablation_monotone(self, tiny_cache):
+        from repro.experiments import run_ablation_buffer
+
+        series = run_ablation_buffer(
+            TINY.with_(network="NA", scale=0.05), buffer_kib=(64, 1024),
+            cache=tiny_cache,
+        )
+        small, big = series.series["CE"]
+        assert big <= small

@@ -1,0 +1,129 @@
+"""Unit tests for repro.geometry.mbr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import MBR, Point
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, finite, finite)
+
+
+@st.composite
+def mbrs(draw):
+    x1, x2 = sorted((draw(finite), draw(finite)))
+    y1, y2 = sorted((draw(finite), draw(finite)))
+    return MBR(x1, y1, x2, y2)
+
+
+class TestMBRConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            MBR(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            MBR(0, 1, 1, 0)
+
+    def test_from_point_is_zero_area(self):
+        r = MBR.from_point(Point(2, 3))
+        assert r.area == 0.0
+        assert r.contains_point(Point(2, 3))
+
+    def test_from_points(self):
+        r = MBR.from_points([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-2, -1, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_union_all(self):
+        r = MBR.union_all([MBR(0, 0, 1, 1), MBR(2, -1, 3, 0.5)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, -1, 3, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.union_all([])
+
+
+class TestMBRGeometry:
+    def test_dimensions(self):
+        r = MBR(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.perimeter == 14
+        assert r.center == Point(2, 1.5)
+
+    def test_contains_point_boundary(self):
+        r = MBR(0, 0, 1, 1)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(1.0001, 0.5))
+
+    def test_contains_rectangle(self):
+        outer, inner = MBR(0, 0, 10, 10), MBR(2, 2, 5, 5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_intersects(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 3, 3))  # corner touch
+        assert not a.intersects(MBR(2.1, 2.1, 3, 3))
+
+    def test_union(self):
+        r = MBR(0, 0, 1, 1).union(MBR(2, 2, 3, 3))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, 0, 3, 3)
+
+    def test_extended_to(self):
+        r = MBR(0, 0, 1, 1).extended_to(Point(-1, 2))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-1, 0, 1, 2)
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 1, 1)
+        assert base.enlargement(MBR(0.2, 0.2, 0.8, 0.8)) == 0.0
+        assert base.enlargement(MBR(0, 0, 2, 1)) == pytest.approx(1.0)
+
+
+class TestMindist:
+    def test_zero_inside(self):
+        assert MBR(0, 0, 2, 2).mindist(Point(1, 1)) == 0.0
+
+    def test_axis_aligned_outside(self):
+        assert MBR(0, 0, 1, 1).mindist(Point(3, 0.5)) == 2.0
+
+    def test_corner_outside(self):
+        assert MBR(0, 0, 1, 1).mindist(Point(4, 5)) == 5.0
+
+    def test_maxdist_at_least_mindist(self):
+        r = MBR(0, 0, 1, 1)
+        p = Point(2, 2)
+        assert r.maxdist(p) >= r.mindist(p)
+
+    @given(mbrs(), points)
+    def test_mindist_is_lower_bound_of_corner_distances(self, r, p):
+        corners = [
+            Point(r.min_x, r.min_y),
+            Point(r.min_x, r.max_y),
+            Point(r.max_x, r.min_y),
+            Point(r.max_x, r.max_y),
+        ]
+        lower = r.mindist(p)
+        for corner in corners:
+            assert lower <= p.distance_to(corner) + 1e-9
+
+    @given(mbrs(), points)
+    def test_maxdist_is_upper_bound_of_center_distance(self, r, p):
+        assert r.maxdist(p) + 1e-9 >= p.distance_to(r.center)
+
+    @given(mbrs(), mbrs())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a)
+        assert u.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9

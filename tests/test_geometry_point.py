@@ -1,0 +1,127 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    ORIGIN,
+    Point,
+    bounding_coordinates,
+    centroid,
+    euclidean,
+    total_path_length,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestPointBasics:
+    def test_distance_to_pythagoras(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+
+    def test_subtraction_gives_components(self):
+        assert Point(5, 7) - Point(2, 3) == (3, 4)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    def test_hashable_as_dict_key(self):
+        d = {Point(1, 2): "a", Point(1, 2): "b"}
+        assert d == {Point(1, 2): "b"}
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)
+
+    def test_euclidean_function_matches_method(self):
+        a, b = Point(1, 2), Point(-3, 5)
+        assert euclidean(a, b) == a.distance_to(b)
+
+
+class TestPointAggregates:
+    def test_centroid_of_single_point(self):
+        assert centroid([Point(3, 4)]) == Point(3, 4)
+
+    def test_centroid_of_square_corners(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert centroid(pts) == Point(0.5, 0.5)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_bounding_coordinates(self):
+        pts = [Point(1, 5), Point(-2, 3), Point(4, -1)]
+        assert bounding_coordinates(pts) == (-2, -1, 4, 5)
+
+    def test_bounding_coordinates_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_coordinates([])
+
+    def test_total_path_length_of_l_shape(self):
+        pts = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert total_path_length(pts) == 7.0
+
+    def test_total_path_length_single_point(self):
+        assert total_path_length([Point(1, 1)]) == 0.0
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        direct = a.distance_to(c)
+        via = a.distance_to(b) + b.distance_to(c)
+        assert direct <= via + 1e-7 * max(1.0, direct)
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        m = a.midpoint(b)
+        assert math.isclose(
+            a.distance_to(m), b.distance_to(m), rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @given(points, points, st.floats(min_value=0, max_value=1))
+    def test_lerp_stays_on_segment(self, a, b, t):
+        p = a.lerp(b, t)
+        length = a.distance_to(b)
+        assert a.distance_to(p) + p.distance_to(b) == pytest.approx(
+            length, rel=1e-7, abs=1e-6
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.polyline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polyline
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, finite, finite)
+vertex_lists = st.lists(points, min_size=2, max_size=8)
+
+
+class TestPolylineBasics:
+    def test_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            Polyline((Point(0, 0),))
+
+    def test_straight_constructor(self):
+        line = Polyline.straight(Point(0, 0), Point(3, 4))
+        assert line.length == 5.0
+        assert line.start == Point(0, 0)
+        assert line.end == Point(3, 4)
+
+    def test_l_shape_length(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.length == 7.0
+
+    def test_segments(self):
+        line = Polyline((Point(0, 0), Point(1, 0), Point(1, 1)))
+        segs = line.segments()
+        assert len(segs) == 2
+        assert segs[0].end == segs[1].start == Point(1, 0)
+
+    def test_mbr(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        box = line.mbr()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 3, 4)
+
+    def test_reversed_preserves_length(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.reversed().length == line.length
+        assert line.reversed().start == line.end
+
+
+class TestPointAt:
+    def test_endpoints(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.point_at(0) == Point(0, 0)
+        assert line.point_at(7) == Point(3, 4)
+
+    def test_clamping(self):
+        line = Polyline((Point(0, 0), Point(1, 0)))
+        assert line.point_at(-5) == Point(0, 0)
+        assert line.point_at(50) == Point(1, 0)
+
+    def test_within_first_segment(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.point_at(2) == Point(2, 0)
+
+    def test_within_second_segment(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.point_at(5) == Point(3, 2)
+
+    def test_exactly_at_vertex(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        assert line.point_at(3) == Point(3, 0)
+
+    @given(vertex_lists, st.floats(min_value=0, max_value=1))
+    def test_point_at_lies_on_some_segment(self, vertices, t):
+        line = Polyline(tuple(vertices))
+        p = line.point_at(t * line.length)
+        best = min(seg.distance_to_point(p) for seg in line.segments())
+        assert best < 1e-6
+
+
+class TestProject:
+    def test_project_onto_vertex(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        offset, closest = line.project(Point(3, 0))
+        assert offset == pytest.approx(3.0)
+        assert closest == Point(3, 0)
+
+    def test_project_onto_second_segment(self):
+        line = Polyline((Point(0, 0), Point(3, 0), Point(3, 4)))
+        offset, closest = line.project(Point(5, 2))
+        assert closest == Point(3, 2)
+        assert offset == pytest.approx(5.0)
+
+    @given(vertex_lists, points)
+    def test_projection_round_trips_through_point_at(self, vertices, p):
+        line = Polyline(tuple(vertices))
+        offset, closest = line.project(p)
+        reconstructed = line.point_at(offset)
+        assert reconstructed.distance_to(closest) < 1e-6

@@ -1,0 +1,88 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, finite, finite)
+
+
+class TestSegmentBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5.0
+
+    def test_point_at_endpoints(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(0) == Point(0, 0)
+        assert seg.point_at(10) == Point(10, 0)
+
+    def test_point_at_midway(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(4) == Point(4, 0)
+
+    def test_point_at_clamps_overshoot(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(-1) == Point(0, 0)
+        assert seg.point_at(11) == Point(10, 0)
+
+    def test_point_at_degenerate_segment(self):
+        seg = Segment(Point(1, 1), Point(1, 1))
+        assert seg.point_at(0.5) == Point(1, 1)
+
+    def test_point_at_fraction(self):
+        seg = Segment(Point(0, 0), Point(2, 2))
+        assert seg.point_at_fraction(0.5) == Point(1, 1)
+
+    def test_point_at_fraction_out_of_range_raises(self):
+        seg = Segment(Point(0, 0), Point(1, 0))
+        with pytest.raises(ValueError):
+            seg.point_at_fraction(1.5)
+
+    def test_reversed(self):
+        seg = Segment(Point(0, 0), Point(1, 2))
+        assert seg.reversed() == Segment(Point(1, 2), Point(0, 0))
+
+
+class TestProjection:
+    def test_project_onto_interior(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        offset, closest = seg.project(Point(4, 3))
+        assert offset == 4.0
+        assert closest == Point(4, 0)
+
+    def test_project_clamps_to_start(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        offset, closest = seg.project(Point(-5, 2))
+        assert offset == 0.0
+        assert closest == Point(0, 0)
+
+    def test_project_clamps_to_end(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        offset, closest = seg.project(Point(15, 2))
+        assert offset == 10.0
+        assert closest == Point(10, 0)
+
+    def test_project_degenerate(self):
+        seg = Segment(Point(1, 1), Point(1, 1))
+        assert seg.project(Point(5, 5)) == (0.0, Point(1, 1))
+
+    def test_distance_to_point(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.distance_to_point(Point(5, 3)) == 3.0
+
+    @given(points, points, points)
+    def test_projection_is_closest_of_samples(self, a, b, p):
+        seg = Segment(a, b)
+        best = seg.distance_to_point(p)
+        for i in range(11):
+            sample = a.lerp(b, i / 10)
+            assert best <= p.distance_to(sample) + 1e-7
+
+    @given(points, points, points)
+    def test_projected_offset_within_length(self, a, b, p):
+        seg = Segment(a, b)
+        offset, _ = seg.project(p)
+        assert -1e-9 <= offset <= seg.length + 1e-9

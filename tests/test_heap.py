@@ -1,0 +1,193 @@
+"""Unit and property tests for the addressable min-heap."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import AddressableHeap
+
+
+class TestHeapBasics:
+    def test_push_pop_single(self):
+        heap = AddressableHeap()
+        heap.push("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+        assert len(heap) == 0
+
+    def test_pop_order(self):
+        heap = AddressableHeap()
+        for item, priority in [("c", 3), ("a", 1), ("b", 2)]:
+            heap.push(item, priority)
+        assert [heap.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_pop_in_insertion_order(self):
+        heap = AddressableHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        assert heap.peek() == ("a", 1.0)
+        assert len(heap) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_min_priority(self):
+        heap = AddressableHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 2.0)
+        assert heap.min_priority() == 2.0
+
+    def test_contains_and_priority_of(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.5)
+        assert "a" in heap
+        assert "b" not in heap
+        assert heap.priority_of("a") == 1.5
+
+    def test_duplicate_push_raises(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("a", 2.0)
+
+    def test_clear(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.clear()
+        assert not heap
+        assert "a" not in heap
+
+
+class TestHeapUpdates:
+    def test_decrease_key_reorders(self):
+        heap = AddressableHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 3.0)
+        heap.decrease_key("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_decrease_key_refuses_increase(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 2.0)
+
+    def test_update_can_increase(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 3.0)
+        assert heap.pop()[0] == "b"
+
+    def test_update_inserts_missing(self):
+        heap = AddressableHeap()
+        heap.update("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_push_or_decrease_semantics(self):
+        heap = AddressableHeap()
+        assert heap.push_or_decrease("a", 5.0)
+        assert heap.push_or_decrease("a", 3.0)
+        assert not heap.push_or_decrease("a", 4.0)  # worse: ignored
+        assert heap.priority_of("a") == 3.0
+
+    def test_remove_arbitrary(self):
+        heap = AddressableHeap()
+        for item, priority in [("a", 1), ("b", 2), ("c", 3)]:
+            heap.push(item, priority)
+        assert heap.remove("b") == 2
+        assert "b" not in heap
+        assert [heap.pop()[0] for _ in range(2)] == ["a", "c"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().remove("x")
+
+    def test_items_iterates_everything(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert dict(heap.items()) == {"a": 1.0, "b": 2.0}
+
+
+class TestFromItems:
+    def test_heapify_matches_pushes(self):
+        rng = random.Random(3)
+        pairs = [(i, rng.random()) for i in range(200)]
+        heap = AddressableHeap.from_items(pairs)
+        heap.validate()
+        reference = AddressableHeap()
+        for item, priority in pairs:
+            reference.push(item, priority)
+        got = [heap.pop() for _ in range(len(pairs))]
+        expected = [reference.pop() for _ in range(len(pairs))]
+        assert [g[1] for g in got] == [e[1] for e in expected]
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(KeyError):
+            AddressableHeap.from_items([("a", 1.0), ("a", 2.0)])
+
+    def test_empty(self):
+        heap = AddressableHeap.from_items([])
+        assert not heap
+
+
+@st.composite
+def operation_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n):
+        ops.append(
+            draw(
+                st.tuples(
+                    st.sampled_from(["push", "pop", "update", "remove"]),
+                    st.integers(min_value=0, max_value=10),
+                    st.floats(min_value=-100, max_value=100, allow_nan=False),
+                )
+            )
+        )
+    return ops
+
+
+class TestHeapProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)))
+    def test_heapsort_matches_sorted(self, values):
+        heap = AddressableHeap()
+        for i, value in enumerate(values):
+            heap.push(i, value)
+        drained = [heap.pop()[1] for _ in range(len(values))]
+        assert drained == sorted(values)
+
+    @given(operation_sequences())
+    def test_random_operations_keep_invariants(self, ops):
+        heap = AddressableHeap()
+        model = {}
+        for op, key, value in ops:
+            if op == "push" and key not in model:
+                heap.push(key, value)
+                model[key] = value
+            elif op == "update":
+                heap.update(key, value)
+                model[key] = value
+            elif op == "remove" and key in model:
+                heap.remove(key)
+                del model[key]
+            elif op == "pop" and model:
+                item, priority = heap.pop()
+                assert priority == min(model.values())
+                assert model[item] == priority
+                del model[item]
+            heap.validate()
+        assert len(heap) == len(model)

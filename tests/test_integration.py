@@ -1,0 +1,204 @@
+"""Integration tests: cross-algorithm agreement and the Section 5 claims.
+
+These run complete queries on moderately sized workloads and check the
+analytical relationships the paper proves or argues:
+
+* all algorithms return exactly the same skyline (the naive oracle);
+* ``C(LBC) <= C(EDC)`` — LBC's candidate space is contained in EDC's
+  (Section 5 proves set containment; we verify the count corollary);
+* ``N(LBC) <= N(CE)`` — LBC never touches more network nodes than CE
+  (the instance-optimality corollary we can measure).
+"""
+
+import pytest
+
+from repro.core import CE, EDC, EDCIncremental, LBC, NaiveSkyline, Workspace
+from repro.datasets import (
+    build_preset,
+    extract_objects,
+    select_query_points,
+    select_query_points_on_edges,
+)
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+
+def make_workload(seed, node_count=80, extra=55, objects=60, attributes=0):
+    network = build_random_network(node_count, extra, seed=seed, detour_max=0.7)
+    object_set = place_random_objects(
+        network, objects, seed=seed + 1, attribute_count=attributes
+    )
+    workspace = Workspace.build(network, object_set, paged=False)
+    return network, workspace
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_all_algorithms_agree_random_workloads(self, seed):
+        network, workspace = make_workload(seed * 100)
+        queries = random_locations(network, (seed % 4) + 1, seed=seed * 100 + 2)
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), EDCIncremental(), LBC()):
+            result = algorithm.run(workspace, queries)
+            assert result.same_answer(reference), algorithm.name
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_agreement_with_attributes(self, seed):
+        network, workspace = make_workload(seed * 100, attributes=2)
+        queries = random_locations(network, 3, seed=seed * 100 + 2)
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), EDCIncremental(), LBC()):
+            assert algorithm.run(workspace, queries).same_answer(reference)
+
+    def test_agreement_on_preset_workload(self):
+        """End-to-end on the paper's CA stand-in, paged storage."""
+        network = build_preset("CA", scale=0.05)
+        objects = extract_objects(network, omega=0.5, seed=1)
+        workspace = Workspace.build(network, objects, paged=True)
+        queries = select_query_points(network, 4, seed=2)
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), EDCIncremental(), LBC()):
+            workspace.reset_io(cold=True)
+            assert algorithm.run(workspace, queries).same_answer(reference)
+
+    def test_agreement_with_on_edge_queries(self):
+        network = build_preset("CA", scale=0.05)
+        objects = extract_objects(network, omega=0.3, seed=3)
+        workspace = Workspace.build(network, objects, paged=False)
+        queries = select_query_points_on_edges(network, 3, seed=4)
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), EDCIncremental(), LBC()):
+            assert algorithm.run(workspace, queries).same_answer(reference)
+
+    def test_paged_and_unpaged_agree(self):
+        network, workspace = make_workload(777)
+        paged = Workspace.build(network, workspace.objects, paged=True)
+        queries = random_locations(network, 3, seed=778)
+        for algorithm in (CE(), EDC(), LBC()):
+            a = algorithm.run(workspace, queries)
+            b = algorithm.run(paged, queries)
+            assert a.same_answer(b)
+
+
+class TestSection5Claims:
+    """The paper's analytical cost relationships, measured."""
+
+    def _run_all(self, seed, query_count=4):
+        network = build_preset("AU", scale=0.04, seed=seed)
+        objects = extract_objects(network, omega=0.5, seed=seed + 1)
+        workspace = Workspace.build(network, objects, paged=True)
+        queries = select_query_points(network, query_count, seed=seed + 2)
+        stats = {}
+        for algorithm in (CE(), EDC(), LBC()):
+            workspace.reset_io(cold=True)
+            stats[algorithm.name] = algorithm.run(workspace, queries).stats
+        return stats
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_lbc_candidates_within_edc(self, seed):
+        stats = self._run_all(seed)
+        assert stats["LBC"].candidate_count <= stats["EDC"].candidate_count
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_lbc_nodes_within_ce(self, seed):
+        stats = self._run_all(seed)
+        assert stats["LBC"].nodes_settled <= stats["CE"].nodes_settled
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_lbc_initial_response_fastest(self, seed):
+        """Compared on the modeled metric: page counts dominate, so the
+        comparison is deterministic (raw wall-clock can jitter)."""
+        stats = self._run_all(seed)
+        assert stats["LBC"].modeled_initial_s <= min(
+            stats["CE"].modeled_initial_s, stats["EDC"].modeled_initial_s
+        ) + 0.005
+
+    def test_instance_optimality_corollary_across_instances(self):
+        """LBC's network access never exceeds CE's on any tested instance."""
+        for seed in (31, 32, 33, 34):
+            stats = self._run_all(seed, query_count=3)
+            assert stats["LBC"].nodes_settled <= stats["CE"].nodes_settled
+
+
+class TestScaling:
+    def test_more_query_points_more_work(self):
+        network = build_preset("AU", scale=0.04)
+        objects = extract_objects(network, omega=0.5, seed=5)
+        workspace = Workspace.build(network, objects, paged=True)
+        costs = []
+        for q in (2, 6):
+            queries = select_query_points(network, q, seed=6)
+            workspace.reset_io(cold=True)
+            costs.append(LBC().run(workspace, queries).stats.nodes_settled)
+        assert costs[1] > costs[0]
+
+    def test_object_density_insensitive(self):
+        """Figure 6(d)-(f): ω barely moves the cost."""
+        network = build_preset("AU", scale=0.04)
+        workspace_costs = []
+        for omega in (0.05, 2.0):
+            objects = extract_objects(network, omega=omega, seed=7)
+            workspace = Workspace.build(network, objects, paged=True)
+            queries = select_query_points(network, 4, seed=8)
+            workspace.reset_io(cold=True)
+            stats = LBC().run(workspace, queries).stats
+            workspace_costs.append(stats.network_pages)
+        low, high = workspace_costs
+        assert high <= max(4 * low, low + 30)
+
+
+class TestPolylineGeometry:
+    """Algorithms on a network whose edges carry polyline geometry."""
+
+    def _curved_network(self, seed=601):
+        import random
+
+        from repro.geometry import Point, Polyline
+        from repro.network import RoadNetwork
+
+        rng = random.Random(seed)
+        network = RoadNetwork()
+        points = [Point(rng.random(), rng.random()) for _ in range(40)]
+        for i, p in enumerate(points):
+            network.add_node(i, p)
+        order = list(range(40))
+        rng.shuffle(order)
+        pairs = list(zip(order, order[1:]))
+        for _ in range(25):
+            pairs.append(tuple(rng.sample(range(40), 2)))
+        for u, v in pairs:
+            a, b = points[u], points[v]
+            # A mid-way kink makes the edge a genuine polyline whose arc
+            # length exceeds the chord.
+            mid = a.midpoint(b).translated(
+                (rng.random() - 0.5) * 0.1, (rng.random() - 0.5) * 0.1
+            )
+            network.add_edge(u, v, geometry=Polyline((a, mid, b)))
+        return network
+
+    def test_all_algorithms_agree_on_curved_network(self):
+        network = self._curved_network()
+        objects = place_random_objects(network, 30, seed=602)
+        workspace = Workspace.build(network, objects, paged=False)
+        queries = random_locations(network, 3, seed=603)
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), EDCIncremental(), LBC()):
+            assert algorithm.run(workspace, queries).same_answer(reference)
+
+    def test_object_points_follow_geometry(self):
+        network = self._curved_network()
+        objects = place_random_objects(network, 20, seed=604)
+        for obj in objects:
+            edge = network.edge(obj.location.edge_id)
+            assert edge.geometry is not None
+            expected = edge.geometry.point_at(obj.location.offset)
+            assert obj.point.distance_to(expected) < 1e-9
+
+    def test_edge_lengths_are_arc_lengths(self):
+        network = self._curved_network()
+        for edge in network.edges():
+            assert edge.length == pytest.approx(edge.geometry.length)
+            chord = network.node_point(edge.u).distance_to(
+                network.node_point(edge.v)
+            )
+            assert edge.length >= chord - 1e-12

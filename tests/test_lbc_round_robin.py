@@ -1,0 +1,92 @@
+"""Tests for the round-robin multi-source LBC extension."""
+
+import pytest
+
+from repro.core import LBC, LBCRoundRobin, NaiveSkyline, Workspace
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+
+@pytest.fixture(scope="module")
+def workload():
+    network = build_random_network(70, 45, seed=301, detour_max=0.7)
+    objects = place_random_objects(network, 45, seed=302)
+    workspace = Workspace.build(network, objects, paged=False)
+    queries = random_locations(network, 4, seed=303)
+    reference = NaiveSkyline().run(workspace, queries)
+    return workspace, queries, reference
+
+
+class TestRoundRobinLBC:
+    def test_matches_oracle(self, workload):
+        workspace, queries, reference = workload
+        assert LBCRoundRobin().run(workspace, queries).same_answer(reference)
+
+    def test_matches_plain_lbc(self, workload):
+        workspace, queries, _ = workload
+        plain = LBC().run(workspace, queries)
+        round_robin = LBCRoundRobin().run(workspace, queries)
+        assert round_robin.same_answer(plain)
+
+    def test_single_query_point(self, workload):
+        workspace, queries, _ = workload
+        single = [queries[0]]
+        reference = NaiveSkyline().run(workspace, single)
+        assert LBCRoundRobin().run(workspace, single).same_answer(reference)
+
+    def test_noplb_ablation_agrees(self, workload):
+        workspace, queries, reference = workload
+        result = LBCRoundRobin(use_lower_bounds=False).run(workspace, queries)
+        assert result.same_answer(reference)
+        assert result.stats.algorithm == "LBC-rr-noplb"
+
+    def test_name(self):
+        assert LBCRoundRobin().name == "LBC-rr"
+
+    def test_balanced_early_reporting(self, workload):
+        """The first few reported points should not all cluster around a
+        single query point: each stream contributes its local NN early.
+
+        Plain LBC's first reports all minimise the source dimension;
+        round-robin's early reports minimise *different* dimensions.
+        """
+        workspace, queries, _ = workload
+        result = LBCRoundRobin().run(workspace, queries)
+        if len(result) < len(queries):
+            pytest.skip("skyline smaller than |Q|; nothing to balance")
+        early = result.points[: len(queries)]
+        # For each early point, which dimension is its best?  Expect at
+        # least two distinct dimensions represented.
+        best_dims = {
+            min(range(len(queries)), key=lambda i: p.vector[i]) for p in early
+        }
+        assert len(best_dims) >= 2
+
+    def test_with_attributes(self):
+        network = build_random_network(60, 40, seed=311, detour_max=0.6)
+        objects = place_random_objects(network, 35, seed=312, attribute_count=1)
+        workspace = Workspace.build(network, objects, paged=False)
+        queries = random_locations(network, 3, seed=313)
+        reference = NaiveSkyline().run(workspace, queries)
+        assert LBCRoundRobin().run(workspace, queries).same_answer(reference)
+
+    def test_disconnected(self):
+        from repro.geometry import Point
+        from repro.network import ObjectSet, RoadNetwork, SpatialObject
+
+        net = RoadNetwork()
+        for i, xy in enumerate([(0, 0), (0.2, 0), (0.8, 0.8), (0.9, 0.8)]):
+            net.add_node(i, Point(*xy))
+        e1 = net.add_edge(0, 1)
+        e2 = net.add_edge(2, 3)
+        objects = ObjectSet.build(
+            net,
+            [
+                SpatialObject(0, net.location_on_edge(e1.edge_id, e1.length / 2)),
+                SpatialObject(1, net.location_on_edge(e2.edge_id, e2.length / 2)),
+            ],
+        )
+        ws = Workspace.build(net, objects, paged=False)
+        queries = [net.location_at_node(0), net.location_at_node(2)]
+        reference = NaiveSkyline().run(ws, queries)
+        assert LBCRoundRobin().run(ws, queries).same_answer(reference)

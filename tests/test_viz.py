@@ -1,0 +1,161 @@
+"""Tests for the SVG rendering module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import LBC, Workspace
+from repro.network import RoadNetwork, route_to
+from repro.viz import NetworkRenderer, render_query, save_svg
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    network = build_random_network(40, 25, seed=501)
+    objects = place_random_objects(network, 20, seed=502)
+    workspace = Workspace.build(network, objects, paged=False)
+    queries = random_locations(network, 3, seed=503)
+    result = LBC().run(workspace, queries)
+    return network, workspace, queries, result
+
+
+class TestNetworkRenderer:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkRenderer(RoadNetwork())
+
+    def test_bad_canvas_rejected(self, scene):
+        network, *_ = scene
+        with pytest.raises(ValueError):
+            NetworkRenderer(network, width=10, height=10, padding=24)
+
+    def test_output_is_valid_xml(self, scene):
+        network, *_ = scene
+        root = parse(NetworkRenderer(network).to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_edges_drawn(self, scene):
+        network, *_ = scene
+        root = parse(NetworkRenderer(network).to_svg())
+        lines = root.findall(f".//{SVG_NS}line") + root.findall(
+            f".//{SVG_NS}polyline"
+        )
+        assert len(lines) == network.edge_count
+
+    def test_nodes_layer(self, scene):
+        network, *_ = scene
+        svg = NetworkRenderer(network).add_nodes().to_svg()
+        root = parse(svg)
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == network.node_count
+
+    def test_coordinates_inside_canvas(self, scene):
+        network, *_ = scene
+        renderer = NetworkRenderer(network, width=400, height=300, padding=20)
+        root = parse(renderer.add_nodes().to_svg())
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= 400
+            assert 0 <= float(circle.get("cy")) <= 300
+
+    def test_polyline_geometry_rendered(self):
+        from repro.geometry import Point, Polyline
+
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(1, 0))
+        net.add_edge(
+            0, 1, geometry=Polyline((Point(0, 0), Point(0.5, 0.3), Point(1, 0)))
+        )
+        root = parse(NetworkRenderer(net).to_svg())
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 1
+        assert len(polylines[0].get("points").split()) == 3
+
+    def test_title_escaped(self, scene):
+        network, *_ = scene
+        svg = NetworkRenderer(network).add_title("<skyline> & more").to_svg()
+        assert "&lt;skyline&gt; &amp; more" in svg
+        parse(svg)  # still valid XML
+
+    def test_route_layer(self, scene):
+        network, _, queries, _ = scene
+        distance, route = route_to(network, queries[0], queries[1])
+        svg = NetworkRenderer(network).add_route(route).to_svg()
+        root = parse(svg)
+        routes = [
+            el
+            for el in root.findall(f".//{SVG_NS}polyline")
+            if el.get("class") == "route"
+        ]
+        assert len(routes) == 1
+        assert len(routes[0].get("points").split()) == len(route)
+
+    def test_trivial_route_skipped(self, scene):
+        network, _, queries, _ = scene
+        svg = NetworkRenderer(network).add_route([queries[0]]).to_svg()
+        root = parse(svg)
+        assert not [
+            el
+            for el in root.findall(f".//{SVG_NS}polyline")
+            if el.get("class") == "route"
+        ]
+
+    def test_wavefront_layer(self, scene):
+        network, _, queries, _ = scene
+        from repro.network import DijkstraExpander
+
+        expander = DijkstraExpander(network, queries[0])
+        for _ in range(15):
+            expander.expand_next()
+        svg = NetworkRenderer(network).add_wavefront(expander.settled).to_svg()
+        root = parse(svg)
+        groups = [
+            g
+            for g in root.findall(f".//{SVG_NS}g")
+            if g.get("class") == "wavefront"
+        ]
+        assert len(groups) == 1
+        assert len(groups[0]) == len(expander.settled)
+
+
+class TestRenderQuery:
+    def test_full_scene(self, scene):
+        _, workspace, queries, result = scene
+        svg = render_query(workspace, queries, result)
+        root = parse(svg)
+        object_groups = [
+            g for g in root.findall(f".//{SVG_NS}g") if g.get("class") == "objects"
+        ]
+        skyline_groups = [
+            g for g in root.findall(f".//{SVG_NS}g") if g.get("class") == "skyline"
+        ]
+        query_groups = [
+            g for g in root.findall(f".//{SVG_NS}g") if g.get("class") == "queries"
+        ]
+        assert len(object_groups[0]) == len(workspace.objects)
+        assert len(skyline_groups[0]) == len(result)
+        assert len(query_groups[0]) == len(queries)
+
+    def test_auto_title_mentions_algorithm(self, scene):
+        _, workspace, queries, result = scene
+        svg = render_query(workspace, queries, result)
+        assert "LBC" in svg
+
+    def test_without_result(self, scene):
+        _, workspace, queries, _ = scene
+        svg = render_query(workspace, queries)
+        parse(svg)
+
+    def test_save_svg(self, scene, tmp_path):
+        _, workspace, queries, result = scene
+        path = tmp_path / "scene.svg"
+        save_svg(render_query(workspace, queries, result), path)
+        parse(path.read_text())

@@ -1,0 +1,169 @@
+"""Tests for the Workspace, result types and query stats."""
+
+import math
+
+import pytest
+
+from repro.core import LBC, NaiveSkyline, QueryStats, SkylineResult, Workspace
+from repro.core.result import SkylinePoint
+from repro.network import ObjectSet
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+
+@pytest.fixture
+def workload():
+    network = build_random_network(50, 30, seed=42, detour_max=0.6)
+    objects = place_random_objects(network, 40, seed=43)
+    return network, objects
+
+
+class TestWorkspaceBuild:
+    def test_paged_has_storage(self, workload):
+        network, objects = workload
+        ws = Workspace.build(network, objects, paged=True)
+        assert ws.store is not None
+        assert ws.rtree_pager is not None
+        assert ws.middle_pager is not None
+
+    def test_unpaged_has_no_storage(self, workload):
+        network, objects = workload
+        ws = Workspace.build(network, objects, paged=False)
+        assert ws.store is None
+        assert ws.network_pages_read() == 0
+        assert ws.index_pages_read() == 0
+        assert ws.middle_pages_read() == 0
+
+    def test_foreign_object_set_rejected(self, workload):
+        network, _ = workload
+        other = build_random_network(20, 10, seed=1)
+        foreign = place_random_objects(other, 5, seed=2)
+        with pytest.raises(ValueError):
+            Workspace.build(network, foreign)
+
+    def test_inconsistent_attributes_rejected(self, workload):
+        network, _ = workload
+        from repro.network import SpatialObject
+
+        edge = next(iter(network.edges()))
+        loc = network.location_on_edge(edge.edge_id, edge.length / 2)
+        mixed = ObjectSet.build(
+            network,
+            [SpatialObject(0, loc, (1.0,)), SpatialObject(1, loc)],
+        )
+        with pytest.raises(ValueError):
+            Workspace.build(network, mixed)
+
+    def test_reset_io_zeroes_counters(self, workload):
+        network, objects = workload
+        ws = Workspace.build(network, objects, paged=True)
+        queries = random_locations(network, 2, seed=5)
+        NaiveSkyline().run(ws, queries)
+        assert ws.network_pages_read() > 0
+        ws.reset_io(cold=True)
+        assert ws.network_pages_read() == 0
+
+    def test_validate_queries(self, workload):
+        network, objects = workload
+        ws = Workspace.build(network, objects, paged=False)
+        with pytest.raises(ValueError):
+            ws.validate_queries([])
+        from repro.geometry import Point
+        from repro.network import NetworkLocation
+
+        with pytest.raises(KeyError):
+            ws.validate_queries(
+                [NetworkLocation(point=Point(0, 0), node_id=99999)]
+            )
+
+    def test_attribute_count(self, workload):
+        network, _ = workload
+        objects = place_random_objects(network, 10, seed=6, attribute_count=2)
+        ws = Workspace.build(network, objects, paged=False)
+        assert ws.attribute_count == 2
+
+
+class TestSkylineResult:
+    def _point(self, network, object_id, vector):
+        objects = place_random_objects(network, 1, seed=object_id, first_id=object_id)
+        return SkylinePoint(obj=objects.objects[0], vector=vector)
+
+    def test_object_ids_sorted(self, workload):
+        network, _ = workload
+        r = SkylineResult(
+            points=[
+                self._point(network, 5, (1.0,)),
+                self._point(network, 2, (2.0,)),
+            ]
+        )
+        assert r.object_ids() == [2, 5]
+        assert len(r) == 2
+
+    def test_same_answer_tolerates_rounding(self, workload):
+        network, _ = workload
+        a = SkylineResult(points=[self._point(network, 1, (1.0, 2.0))])
+        b = SkylineResult(points=[self._point(network, 1, (1.0 + 1e-12, 2.0))])
+        assert a.same_answer(b)
+
+    def test_same_answer_handles_infinities(self, workload):
+        network, _ = workload
+        a = SkylineResult(points=[self._point(network, 1, (math.inf, 2.0))])
+        b = SkylineResult(points=[self._point(network, 1, (math.inf, 2.0))])
+        assert a.same_answer(b)
+
+    def test_same_answer_detects_different_sets(self, workload):
+        network, _ = workload
+        a = SkylineResult(points=[self._point(network, 1, (1.0,))])
+        b = SkylineResult(points=[self._point(network, 2, (1.0,))])
+        assert not a.same_answer(b)
+
+    def test_same_answer_detects_vector_mismatch(self, workload):
+        network, _ = workload
+        a = SkylineResult(points=[self._point(network, 1, (1.0,))])
+        b = SkylineResult(points=[self._point(network, 1, (1.5,))])
+        assert not a.same_answer(b)
+
+
+class TestQueryStats:
+    def test_candidate_ratio(self):
+        stats = QueryStats(object_count=200, candidate_count=50)
+        assert stats.candidate_ratio == 0.25
+
+    def test_candidate_ratio_empty(self):
+        assert QueryStats().candidate_ratio == 0.0
+
+    def test_total_pages(self):
+        stats = QueryStats(network_pages=3, index_pages=2, middle_pages=1)
+        assert stats.total_pages == 6
+
+    def test_modeled_times_include_io_penalty(self):
+        stats = QueryStats(
+            total_response_s=0.1,
+            network_pages=10,
+            initial_response_s=0.05,
+            initial_network_pages=4,
+        )
+        assert stats.modeled_total_s == pytest.approx(0.1 + 10 * stats.IO_PENALTY_S)
+        assert stats.modeled_initial_s == pytest.approx(
+            0.05 + 4 * stats.IO_PENALTY_S
+        )
+
+    def test_as_row_keys(self):
+        row = QueryStats(algorithm="LBC").as_row()
+        assert row["algorithm"] == "LBC"
+        assert "|C|/|D|" in row
+        assert "net_pages" in row
+
+    def test_run_populates_stats(self, workload):
+        network, objects = workload
+        ws = Workspace.build(network, objects, paged=True)
+        queries = random_locations(network, 3, seed=7)
+        result = LBC().run(ws, queries)
+        s = result.stats
+        assert s.algorithm == "LBC"
+        assert s.query_count == 3
+        assert s.object_count == len(objects)
+        assert s.skyline_count == len(result)
+        assert s.total_response_s > 0
+        assert 0 < s.initial_response_s <= s.total_response_s + 1e-9
+        assert s.nodes_settled > 0
