@@ -45,6 +45,7 @@ from repro.datasets import (
     grid_network,
     select_query_points,
 )
+from repro.engine import BACKEND_NAMES, DistanceEngine
 from repro.geometry import MBR, Point
 from repro.network import (
     NetworkLocation,
@@ -58,7 +59,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_ALGORITHMS",
+    "BACKEND_NAMES",
     "CE",
+    "DistanceEngine",
     "EDC",
     "EDCIncremental",
     "LBC",

@@ -47,6 +47,7 @@ from repro.datasets import (
     save_objects,
     select_query_points,
 )
+from repro.engine import BACKEND_NAMES, DEFAULT_BACKEND
 
 ALGORITHMS = {
     "CE": CE,
@@ -94,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--random-queries", type=int, help="draw N query junctions"
     )
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--distance-backend",
+        choices=list(BACKEND_NAMES),
+        default=DEFAULT_BACKEND,
+        help="distance engine backend (default: %(default)s)",
+    )
     query.add_argument("--svg", help="write a picture of the result")
     query.add_argument("--json", help="write the result as JSON here")
     query.add_argument(
@@ -155,7 +162,9 @@ def _cmd_info(args) -> int:
 def _cmd_query(args) -> int:
     network = load_network(args.network)
     objects = load_objects(network, args.objects)
-    workspace = Workspace.build(network, objects)
+    workspace = Workspace.build(
+        network, objects, distance_backend=args.distance_backend
+    )
     if args.query_nodes:
         missing = [n for n in args.query_nodes if not network.has_node(n)]
         if missing:
@@ -189,6 +198,14 @@ def _cmd_query(args) -> int:
             f"net_pages={s.network_pages} idx_pages={s.index_pages} "
             f"mid_pages={s.middle_pages} t={s.total_response_s:.4f}s "
             f"t_first={s.initial_response_s:.4f}s"
+        )
+        info = workspace.engine.cache_info()
+        print(
+            f"engine: backend={info['backend']} "
+            f"hits={info['hits']} misses={info['misses']} "
+            f"evictions={info['evictions']} "
+            f"pool={info['pool_entries']}/{info['pool_capacity']} "
+            f"memo={info['memo_entries']}/{info['memo_capacity']}"
         )
     if args.svg:
         from repro.viz import render_query, save_svg

@@ -39,6 +39,8 @@ class SkylineAlgorithm(ABC):
         net_before = workspace.network_pages_read()
         idx_before = workspace.index_pages_read()
         mid_before = workspace.middle_pages_read()
+        engine = workspace.engine
+        engine_before = engine.counters if engine is not None else None
 
         started = time.perf_counter()
         timer = _ResponseTimer(
@@ -55,6 +57,12 @@ class SkylineAlgorithm(ABC):
         finished = time.perf_counter()
 
         stats.skyline_count = len(points)
+        if engine is not None and engine_before is not None:
+            after = engine.counters
+            stats.distance_backend = engine.backend_name
+            stats.engine_hits = after.hits - engine_before.hits
+            stats.engine_misses = after.misses - engine_before.misses
+            stats.engine_evictions = after.evictions - engine_before.evictions
         stats.network_pages = workspace.network_pages_read() - net_before
         stats.index_pages = workspace.index_pages_read() - idx_before
         stats.middle_pages = workspace.middle_pages_read() - mid_before

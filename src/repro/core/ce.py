@@ -42,7 +42,6 @@ from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_poi
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
-from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 from repro.skyline.dominance import dominates, dominates_lower_bounds
@@ -129,18 +128,15 @@ class CollaborativeExpansion(SkylineAlgorithm):
         stats: QueryStats,
         timer: _ResponseTimer,
     ) -> list[SkylinePoint]:
-        network = workspace.network
+        engine = workspace.engine
         n = len(queries)
         k = workspace.attribute_count
         m = n + k  # total dimensions
 
         all_objects = list(workspace.objects)
-        expanders: list[DijkstraExpander | _AttributeRank] = [
-            DijkstraExpander(
-                network, q, store=workspace.store, placements=workspace.middle
-            )
-            for q in queries
-        ]
+        # INE wavefronts are per-query (emission state cannot be pooled);
+        # the engine builds them with the store and middle layer wired.
+        expanders: list = [engine.ine_expander(q) for q in queries]
         expanders.extend(_AttributeRank(all_objects, j) for j in range(k))
 
         # Partial vectors: object id -> {dimension index: value}.
@@ -155,6 +151,9 @@ class CollaborativeExpansion(SkylineAlgorithm):
             row[index] = value
             if index < n:
                 stats.distance_computations += 1
+                # INE emissions are exact distances: feed the shared
+                # memo so later queries and explain() answer from cache.
+                engine.record(queries[index], obj.location, value)
             return len(row) == m
 
         # ------------------------------------------------------------------
@@ -241,6 +240,7 @@ class CollaborativeExpansion(SkylineAlgorithm):
                     continue
                 progressed = True
                 obj, value = emission
+                engine.record(queries[i], obj.location, value)
                 if obj.object_id not in candidates:
                     # New objects met during refinement are dominated
                     # (they lie beyond p* in every dimension) — discard.

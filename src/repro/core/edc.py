@@ -45,7 +45,6 @@ from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_poi
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
-from repro.network.astar import AStarExpander
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 from repro.skyline.bbs import (
@@ -68,10 +67,12 @@ class _EDCBase(SkylineAlgorithm):
         self._workspace = workspace
         self._queries = queries
         self._query_points = [q.point for q in queries]
-        self._expanders = [
-            AStarExpander(workspace.network, q, store=workspace.store)
-            for q in queries
-        ]
+        self._engine = workspace.engine
+        # EDC's cost profile is built on goal-directed A* ("intermediate
+        # results kept", Section 6.1): stay on the engine's A*-family
+        # backend even when the workspace default is plain Dijkstra.
+        self._backend = self._engine._astar_backend_name()
+        self._nodes_before = self._engine.nodes_settled()
         self._network_vectors: dict[int, tuple[float, ...]] = {}
         self._euclidean_vectors: dict[int, tuple[float, ...]] = {}
         self._objects: dict[int, SpatialObject] = {}
@@ -84,13 +85,19 @@ class _EDCBase(SkylineAlgorithm):
         if cached is not None:
             return cached
         distances = []
-        for expander in self._expanders:
-            distances.append(expander.distance_to(obj.location))
+        for q in self._queries:
+            distances.append(
+                self._engine.distance(q, obj.location, backend=self._backend)
+            )
             stats.distance_computations += 1
         vector = tuple(distances) + obj.attributes
         self._network_vectors[obj.object_id] = vector
         self._objects[obj.object_id] = obj
         return vector
+
+    def _settled_nodes(self) -> int:
+        """Engine nodes settled on behalf of this run (delta accounting)."""
+        return self._engine.nodes_settled() - self._nodes_before
 
     def _euclidean_vector(self, obj: SpatialObject) -> tuple[float, ...]:
         cached = self._euclidean_vectors.get(obj.object_id)
@@ -254,7 +261,7 @@ class EuclideanDistanceConstraint(_EDCBase):
         # Correctness closure (no-op when the paper's region sufficed).
         self._closure(skyline, stats, timer)
 
-        stats.nodes_settled = sum(e.nodes_settled for e in self._expanders)
+        stats.nodes_settled = self._settled_nodes()
         return skyline
 
 
@@ -317,7 +324,7 @@ class EuclideanDistanceConstraintIncremental(_EDCBase):
 
         stats.candidate_count = len(fetched)
         self._closure(skyline, stats, timer)
-        stats.nodes_settled = sum(e.nodes_settled for e in self._expanders)
+        stats.nodes_settled = self._settled_nodes()
         return skyline
 
     def _confirm_resolved(

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 
 from repro.core.query import Workspace
 from repro.core.result import SkylineResult
-from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation
 from repro.skyline.dominance import dominates
 
@@ -63,13 +62,16 @@ class ObjectExplanation:
 def object_vector(
     workspace: Workspace, queries: list[NetworkLocation], object_id: int
 ) -> tuple[float, ...]:
-    """The evaluation vector of one object, computed from scratch."""
+    """The evaluation vector of one object.
+
+    Routed through the workspace's distance engine: page reads are
+    charged to the buffer pool, wavefronts from earlier queries (or the
+    skyline run being explained) are reused, and memoised distances —
+    e.g. ones the algorithms recorded while answering — come back
+    without touching the network at all.
+    """
     obj = workspace.objects.get(object_id)
-    distances = tuple(
-        DijkstraExpander(workspace.network, q).distance_to(obj.location)
-        for q in queries
-    )
-    return distances + obj.attributes
+    return workspace.engine.vector(queries, obj)
 
 
 def explain_object(

@@ -108,25 +108,29 @@ class LowerBoundConstraint(SkylineAlgorithm):
             raise ValueError(
                 f"source_index {self.source_index} outside 0..{len(queries) - 1}"
             )
-        network = workspace.network
+        engine = workspace.engine
+        self._engine = engine
         source = queries[self.source_index]
         others = [
             (i, q) for i, q in enumerate(queries) if i != self.source_index
         ]
 
-        source_expander = AStarExpander(
-            network, source, store=workspace.store, heuristic=self.heuristic
+        # Pooled A*-family expanders, one per dimension: repeated
+        # queries from the same points resume earlier wavefronts.  The
+        # slot keeps co-located query points on separate expanders (an
+        # expander carries at most one live LowerBoundSearch).
+        source_expander = engine.astar_expander(
+            source, heuristic=self.heuristic, slot=self.source_index
         )
         other_expanders = {
-            i: AStarExpander(
-                network, q, store=workspace.store, heuristic=self.heuristic
-            )
+            i: engine.astar_expander(q, heuristic=self.heuristic, slot=i)
             for i, q in others
         }
 
         skyline: list[SkylinePoint] = []
         skyline_vectors: list[tuple[float, ...]] = []
 
+        nodes_before = engine.nodes_settled()
         for p, source_dist in self._network_nn_stream(
             workspace, queries, source, source_expander, skyline_vectors, stats
         ):
@@ -146,9 +150,7 @@ class LowerBoundConstraint(SkylineAlgorithm):
             skyline_vectors[:] = [s.vector for s in skyline]
             timer.mark_first_result()
 
-        stats.nodes_settled = source_expander.nodes_settled + sum(
-            e.nodes_settled for e in other_expanders.values()
-        )
+        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline
 
     # ------------------------------------------------------------------
@@ -214,7 +216,9 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 euclid_dist, candidate = next_euclid
                 if buffered and min(d for _, d in buffered.values()) <= euclid_dist:
                     break
-                network_dist = source_expander.distance_to(candidate.location)
+                network_dist = self._engine.distance_via(
+                    source, candidate.location, source_expander
+                )
                 stats.distance_computations += 1
                 stats.candidate_count += 1
                 buffered[candidate.object_id] = (candidate, network_dist)
@@ -256,7 +260,9 @@ class LowerBoundConstraint(SkylineAlgorithm):
             # Ablation path: full distance computation for every
             # candidate, then one exact dominance check.
             for i, _ in others:
-                bounds[i] = other_expanders[i].distance_to(p.location)
+                bounds[i] = self._engine.distance_via(
+                    queries[i], p.location, other_expanders[i]
+                )
                 stats.distance_computations += 1
             vector = tuple(bounds) + p.attributes
             if any(dominates_lower_bounds(s, vector) for s in skyline_vectors):
@@ -287,9 +293,14 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 searches[target] = search
                 stats.distance_computations += 1
                 bounds[target] = max(bounds[target], search.plb)
+                if search.done:
+                    # Exact distance (settled fast path): feed the memo.
+                    self._engine.record(queries[target], p.location, search.distance)
                 continue
             bounds[target] = max(bounds[target], search.expand_step())
             stats.lb_expansions += 1
+            if search.done:
+                self._engine.record(queries[target], p.location, search.distance)
 
 
 class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
@@ -321,12 +332,11 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
         stats: QueryStats,
         timer: _ResponseTimer,
     ) -> list[SkylinePoint]:
-        network = workspace.network
+        engine = workspace.engine
+        self._engine = engine
         n = len(queries)
         expanders = {
-            i: AStarExpander(
-                network, q, store=workspace.store, heuristic=self.heuristic
-            )
+            i: engine.astar_expander(q, heuristic=self.heuristic, slot=i)
             for i, q in enumerate(queries)
         }
 
@@ -334,6 +344,7 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
         skyline_vectors: list[tuple[float, ...]] = []
         resolved_ids: set[int] = set()
 
+        nodes_before = engine.nodes_settled()
         streams = [
             self._network_nn_stream(
                 workspace, queries, queries[i], expanders[i], skyline_vectors, stats
@@ -370,7 +381,7 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
                 skyline_vectors[:] = [s.vector for s in skyline]
                 timer.mark_first_result()
 
-        stats.nodes_settled = sum(e.nodes_settled for e in expanders.values())
+        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline
 
 
@@ -426,18 +437,18 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
             raise ValueError(
                 f"source_index {self.source_index} outside 0..{len(queries) - 1}"
             )
-        network = workspace.network
+        engine = workspace.engine
+        self._engine = engine
         source = queries[self.source_index]
         expanders = {
-            i: AStarExpander(
-                network, q, store=workspace.store, heuristic=self.heuristic
-            )
+            i: engine.astar_expander(q, heuristic=self.heuristic, slot=i)
             for i, q in enumerate(queries)
         }
         all_dims = list(enumerate(queries))
 
         skyline: list[SkylinePoint] = []
         skyline_vectors: list[tuple[float, ...]] = []
+        nodes_before = engine.nodes_settled()
 
         source_point = source.point
         all_query_points = [q.point for q in queries]
@@ -477,5 +488,5 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
             skyline_vectors[:] = [s.vector for s in skyline]
             timer.mark_first_result()
 
-        stats.nodes_settled = sum(e.nodes_settled for e in expanders.values())
+        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline

@@ -1,20 +1,19 @@
 """The exhaustive baseline: full distance matrix, then BNL.
 
 Not one of the paper's algorithms — it is the correctness oracle every
-property test compares against, and the cost straw man: one complete
-Dijkstra traversal per query point, touching the entire reachable
-network regardless of where the skyline lies.
+property test compares against, and the cost straw man: every object's
+distance to every query point is computed through the workspace's
+distance engine (one pooled wavefront per query point, reused across
+the whole object sweep), then one blocked-nested-loops scan reports
+the skyline.
 """
 
 from __future__ import annotations
-
-import math
 
 from repro.core.base import SkylineAlgorithm, _ResponseTimer
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
-from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation
 from repro.skyline.bnl import bnl_skyline
 
@@ -31,24 +30,15 @@ class NaiveSkyline(SkylineAlgorithm):
         stats: QueryStats,
         timer: _ResponseTimer,
     ) -> list[SkylinePoint]:
-        network = workspace.network
+        engine = workspace.engine
         objects = list(workspace.objects)
         stats.candidate_count = len(objects)
 
-        vectors: list[list[float]] = [[] for _ in objects]
-        for query in queries:
-            expander = DijkstraExpander(network, query, store=workspace.store)
-            # One full traversal answers every object's distance.
-            while expander.expand_next() is not None:
-                pass
-            stats.nodes_settled += expander.nodes_settled
-            for row, obj in zip(vectors, objects):
-                row.append(self._object_distance(network, expander, obj))
-                stats.distance_computations += 1
+        nodes_before = engine.nodes_settled()
+        full_vectors = engine.vectors(queries, objects)
+        stats.distance_computations += len(queries) * len(objects)
+        stats.nodes_settled = engine.nodes_settled() - nodes_before
 
-        full_vectors = [
-            tuple(row) + obj.attributes for row, obj in zip(vectors, objects)
-        ]
         winners = bnl_skyline(full_vectors)
         points = [
             SkylinePoint(obj=objects[i], vector=full_vectors[i]) for i in winners
@@ -56,23 +46,3 @@ class NaiveSkyline(SkylineAlgorithm):
         if points:
             timer.mark_first_result()
         return points
-
-    @staticmethod
-    def _object_distance(network, expander: DijkstraExpander, obj) -> float:
-        """Distance to an object from a fully-expanded wavefront."""
-        loc = obj.location
-        if loc.node_id is not None:
-            return expander.settled.get(loc.node_id, math.inf)
-        assert loc.edge_id is not None
-        edge = network.edge(loc.edge_id)
-        best = math.inf
-        settled_u = expander.settled.get(edge.u)
-        if settled_u is not None:
-            best = settled_u + loc.offset
-        settled_v = expander.settled.get(edge.v)
-        if settled_v is not None:
-            best = min(best, settled_v + (edge.length - loc.offset))
-        direct = network.direct_edge_distance(expander.source, loc)
-        if direct is not None:
-            best = min(best, direct)
-        return best

@@ -17,12 +17,13 @@ paper's experiments amortise their setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.engine import DEFAULT_BACKEND, DistanceEngine
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.middle_layer import InMemoryPlacements, MiddleLayer
-from repro.network.objects import ObjectSet
+from repro.network.objects import ObjectSet, SpatialObject
 from repro.network.storage import NetworkStore
 from repro.storage.binding import NodePager
 from repro.storage.buffer import DEFAULT_BUFFER_BYTES
@@ -40,6 +41,15 @@ class Workspace:
     object_rtree: RTree
     rtree_pager: NodePager | None
     middle_pager: NodePager | None
+    engine: DistanceEngine | None = None
+
+    def __post_init__(self) -> None:
+        # Workspaces assembled directly (tests, serialization) get a
+        # default engine so workspace.engine is always usable.
+        if self.engine is None:
+            self.engine = DistanceEngine(
+                self.network, store=self.store, placements=self.middle
+            )
 
     @classmethod
     def build(
@@ -52,11 +62,14 @@ class Workspace:
         rtree_max_entries: int = DEFAULT_MAX_ENTRIES,
         bptree_order: int = 64,
         buffer_policy: str = "lru",
+        distance_backend: str = DEFAULT_BACKEND,
     ) -> "Workspace":
         """Assemble the workspace, clustering and indexing the dataset.
 
         ``buffer_policy`` selects the page-replacement policy for every
-        pool ("lru" — the paper's setup — "fifo" or "clock").
+        pool ("lru" — the paper's setup — "fifo" or "clock");
+        ``distance_backend`` picks the engine's default distance backend
+        (``"dijkstra"``, ``"astar"`` or ``"astar+landmarks"``).
         """
         if objects.network is not network:
             raise ValueError("object set was built for a different network")
@@ -86,6 +99,9 @@ class Workspace:
             middle = InMemoryPlacements(objects)
             rtree_pager = None
             object_rtree = objects.build_rtree(max_entries=rtree_max_entries)
+        engine = DistanceEngine(
+            network, store=store, placements=middle, backend=distance_backend
+        )
         return cls(
             network=network,
             objects=objects,
@@ -94,13 +110,19 @@ class Workspace:
             object_rtree=object_rtree,
             rtree_pager=rtree_pager,
             middle_pager=middle_pager,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
     # I/O accounting
     # ------------------------------------------------------------------
     def reset_io(self, cold: bool = True) -> None:
-        """Zero counters before a measured query (cold = empty buffers)."""
+        """Zero counters before a measured query (cold = empty buffers).
+
+        A cold reset also empties the distance engine's wavefront pool
+        and memo, so cold-buffer measurements are cold end to end; a
+        warm reset keeps them (how warm-cache benchmarks are run).
+        """
         if self.store is not None:
             self.store.reset(cold=cold)
         for pager in (self.rtree_pager, self.middle_pager):
@@ -108,6 +130,8 @@ class Workspace:
                 pager.pool.reset_stats()
                 if cold:
                     pager.pool.clear()
+        if cold and self.engine is not None:
+            self.engine.clear()
 
     def network_pages_read(self) -> int:
         """Physical network-store reads since the last reset."""
@@ -136,17 +160,74 @@ class Workspace:
         """Add one object, keeping every derived index consistent.
 
         Updates the object set, the middle layer's B+-tree and the
-        object R-tree in one step; subsequent queries see the object.
+        object R-tree in one step, and invalidates the distance
+        engine's caches; subsequent queries see the object.
         """
         self.objects.add(obj)
         self.middle.add_object(obj)
         self.object_rtree.insert_point(obj.point, obj)
+        if self.engine is not None:
+            self.engine.invalidate()
 
     def remove_object(self, object_id: int) -> None:
         """Remove one object everywhere (KeyError when absent)."""
         obj = self.objects.remove(object_id)
         self.middle.remove_object(obj)
         self.object_rtree.delete_point(obj.point, obj)
+        if self.engine is not None:
+            self.engine.invalidate()
+
+    def move_object(self, object_id: int, location: NetworkLocation) -> SpatialObject:
+        """Relocate one object, keeping attributes and every index.
+
+        Implemented as remove + re-add so the middle layer, the R-tree
+        and the engine caches all observe the move.  Returns the moved
+        object.
+        """
+        obj = self.objects.get(object_id)
+        self.remove_object(object_id)
+        moved = replace(obj, location=location)
+        self.add_object(moved)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Network mutation
+    # ------------------------------------------------------------------
+    def update_edge_length(self, edge_id: int, length: float) -> None:
+        """Change one edge's travel length (e.g. congestion reweighting).
+
+        Objects on (or at the endpoints of) the edge are re-registered
+        so their middle-layer placements match the new length; on-edge
+        objects keep their offset from the ``u`` endpoint, which must
+        still fit.  All engine caches — including backend
+        precomputation such as landmark tables — are invalidated, since
+        every previously settled distance may have changed.
+        """
+        self.network.edge(edge_id)  # KeyError for foreign edges
+        affected = [p.obj for p in self.middle.objects_on(edge_id)]
+        for obj in affected:
+            loc = obj.location
+            if loc.edge_id == edge_id and loc.offset > length + 1e-9:
+                raise ValueError(
+                    f"object {obj.object_id} at offset {loc.offset} does not "
+                    f"fit the new length {length} of edge {edge_id}"
+                )
+        # Run the network's own checks (chord rule, polyline, positivity)
+        # before touching any object state: a rejection must leave the
+        # workspace untouched, not with `affected` already deregistered.
+        self.network.validate_edge_length(edge_id, length)
+        for obj in affected:
+            self.remove_object(obj.object_id)
+        self.network.update_edge_length(edge_id, length)
+        for obj in affected:
+            loc = obj.location
+            if loc.edge_id == edge_id:
+                obj = replace(
+                    obj, location=self.network.location_on_edge(edge_id, loc.offset)
+                )
+            self.add_object(obj)
+        if self.engine is not None:
+            self.engine.invalidate_network()
 
     # ------------------------------------------------------------------
     # Query-point helpers

@@ -32,6 +32,11 @@ class QueryStats:
     distance_computations: int = 0
     lb_expansions: int = 0
 
+    distance_backend: str = ""
+    engine_hits: int = 0
+    engine_misses: int = 0
+    engine_evictions: int = 0
+
     network_pages: int = 0
     index_pages: int = 0
     middle_pages: int = 0
@@ -77,6 +82,14 @@ class QueryStats:
         """All simulated physical page reads (network + indexes + layer)."""
         return self.network_pages + self.index_pages + self.middle_pages
 
+    @property
+    def engine_hit_ratio(self) -> float:
+        """Distance-memo hits over lookups during this query (0 if none)."""
+        lookups = self.engine_hits + self.engine_misses
+        if lookups == 0:
+            return 0.0
+        return self.engine_hits / lookups
+
     def as_row(self) -> dict[str, float]:
         """Flat dictionary for tabular reporting."""
         return {
@@ -88,6 +101,10 @@ class QueryStats:
             "skyline": self.skyline_count,
             "nodes": self.nodes_settled,
             "dist_calcs": self.distance_computations,
+            "backend": self.distance_backend,
+            "eng_hits": self.engine_hits,
+            "eng_miss": self.engine_misses,
+            "eng_evict": self.engine_evictions,
             "net_pages": self.network_pages,
             "idx_pages": self.index_pages,
             "mid_pages": self.middle_pages,

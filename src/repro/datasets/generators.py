@@ -282,18 +282,22 @@ def estimate_delta(
 
     The statistic Section 5 reasons about: large in sparse networks,
     approaching 1 as density grows.  One full Dijkstra per sampled
-    source covers all of that source's target samples.
+    source covers all of that source's target samples; wavefronts come
+    from a throwaway :class:`~repro.engine.DistanceEngine` so this
+    module respects the construction discipline (and repeated sources,
+    if sampled, reuse their expansion).
     """
-    from repro.network.dijkstra import DijkstraExpander
+    from repro.engine import DistanceEngine
 
     rng = random.Random(seed)
     node_ids = list(network.node_ids())
     if len(node_ids) < 2:
         return 1.0
+    engine = DistanceEngine(network)
     total = 0.0
     count = 0
     for source in rng.sample(node_ids, min(sources, len(node_ids))):
-        expander = DijkstraExpander(network, network.location_at_node(source))
+        expander = engine.expander(network.location_at_node(source))
         while expander.expand_next() is not None:
             pass
         reachable = [v for v in expander.settled if v != source]

@@ -1,0 +1,44 @@
+"""repro.engine — the unified network-distance service layer.
+
+Public surface:
+
+* :class:`DistanceEngine` — pooled wavefronts, cross-query distance
+  memo, batch APIs; owned by every Workspace as ``workspace.engine``;
+* :class:`EngineCounters` — snapshot of hit/miss/eviction counters;
+* the backend registry (:data:`BACKEND_NAMES`, :func:`make_backend`)
+  with the :class:`DistanceBackend` protocol;
+* :class:`DistanceMemo` — the bounded LRU used by the engine.
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    AStarBackend,
+    AStarLandmarksBackend,
+    DijkstraBackend,
+    DistanceBackend,
+    make_backend,
+)
+from repro.engine.cache import DEFAULT_MEMO_CAPACITY, DistanceMemo, MemoCounters
+from repro.engine.engine import (
+    DEFAULT_POOL_CAPACITY,
+    DistanceEngine,
+    EngineCounters,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "DEFAULT_MEMO_CAPACITY",
+    "DEFAULT_POOL_CAPACITY",
+    "AStarBackend",
+    "AStarLandmarksBackend",
+    "DijkstraBackend",
+    "DistanceBackend",
+    "DistanceEngine",
+    "DistanceMemo",
+    "EngineCounters",
+    "MemoCounters",
+]

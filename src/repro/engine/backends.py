@@ -1,0 +1,157 @@
+"""Pluggable distance backends behind one small protocol.
+
+A backend knows how to build a resumable single-source expander for the
+engine's pool.  Three ship with the engine:
+
+* ``"dijkstra"`` — plain Dijkstra wavefronts
+  (:class:`~repro.network.dijkstra.DijkstraExpander`); the default, and
+  the only backend whose expanders also support incremental
+  nearest-object enumeration;
+* ``"astar"`` — goal-directed A* with the Euclidean heuristic
+  (:class:`~repro.network.astar.AStarExpander`);
+* ``"astar+landmarks"`` — A* guided by a lazily built
+  :class:`~repro.network.landmarks.LandmarkHeuristic` (ALT bounds),
+  typically the fewest settled nodes on high-detour networks at the
+  cost of ``count`` full Dijkstra runs of precomputation.
+
+Every backend returns *exact* distances; they differ only in how much
+network they touch to settle them, which is why the engine's memo can
+share entries across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.network.astar import AStarExpander
+from repro.network.dijkstra import DijkstraExpander
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.landmarks import LandmarkHeuristic
+from repro.network.storage import NetworkStore
+
+DEFAULT_BACKEND = "dijkstra"
+DEFAULT_LANDMARK_COUNT = 8
+
+
+@runtime_checkable
+class DistanceBackend(Protocol):
+    """What the engine needs from a backend: named expander factories."""
+
+    name: str
+
+    def make_expander(self, source: NetworkLocation):
+        """A fresh resumable expander rooted at ``source``.
+
+        The returned object must expose ``distance_to(location)`` and a
+        monotone ``nodes_settled`` counter.
+        """
+        ...
+
+    def reset(self) -> None:
+        """Drop any derived data invalidated by a network mutation."""
+        ...
+
+
+class DijkstraBackend:
+    """Plain Dijkstra wavefronts — the paper's CE substrate."""
+
+    name = "dijkstra"
+
+    def __init__(self, network: RoadNetwork, store: NetworkStore | None = None):
+        self.network = network
+        self.store = store
+
+    def make_expander(self, source: NetworkLocation) -> DijkstraExpander:
+        return DijkstraExpander(self.network, source, store=self.store)
+
+    def reset(self) -> None:  # no derived state
+        return None
+
+
+class AStarBackend:
+    """Euclidean-guided A* — the paper's EDC/LBC substrate."""
+
+    name = "astar"
+
+    def __init__(self, network: RoadNetwork, store: NetworkStore | None = None):
+        self.network = network
+        self.store = store
+
+    def heuristic(self):
+        """The consistent heuristic shared by this backend's expanders."""
+        return None
+
+    def make_expander(self, source: NetworkLocation) -> AStarExpander:
+        return AStarExpander(
+            self.network, source, store=self.store, heuristic=self.heuristic()
+        )
+
+    def reset(self) -> None:
+        return None
+
+
+class AStarLandmarksBackend(AStarBackend):
+    """A* with ALT (landmark) lower bounds, built on first use.
+
+    The landmark tables are precomputation (``count`` full Dijkstra
+    runs), so they are shared across every expander the backend makes
+    and rebuilt only after a network mutation invalidates them.
+    """
+
+    name = "astar+landmarks"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        store: NetworkStore | None = None,
+        landmark_count: int = DEFAULT_LANDMARK_COUNT,
+        landmark_seed: int = 0,
+    ):
+        super().__init__(network, store)
+        self.landmark_count = landmark_count
+        self.landmark_seed = landmark_seed
+        self._landmarks: LandmarkHeuristic | None = None
+
+    def heuristic(self) -> LandmarkHeuristic:
+        if self._landmarks is None:
+            self._landmarks = LandmarkHeuristic(
+                self.network,
+                count=max(1, min(self.landmark_count, self.network.node_count)),
+                seed=self.landmark_seed,
+            )
+        return self._landmarks
+
+    def reset(self) -> None:
+        self._landmarks = None
+
+
+BACKENDS: dict[str, type] = {
+    DijkstraBackend.name: DijkstraBackend,
+    AStarBackend.name: AStarBackend,
+    AStarLandmarksBackend.name: AStarLandmarksBackend,
+}
+
+BACKEND_NAMES = tuple(sorted(BACKENDS))
+
+
+def make_backend(
+    name: str,
+    network: RoadNetwork,
+    store: NetworkStore | None = None,
+    landmark_count: int = DEFAULT_LANDMARK_COUNT,
+    landmark_seed: int = 0,
+) -> DistanceBackend:
+    """Instantiate a backend by name (ValueError for unknown names)."""
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown distance backend {name!r}; choose from {BACKEND_NAMES}"
+        )
+    if cls is AStarLandmarksBackend:
+        return cls(
+            network,
+            store=store,
+            landmark_count=landmark_count,
+            landmark_seed=landmark_seed,
+        )
+    return cls(network, store=store)

@@ -1,0 +1,79 @@
+"""Bounded LRU memo of settled network distances.
+
+The :class:`DistanceMemo` is the engine's cross-query cache: every
+``(source, target)`` pair whose exact distance has been settled once —
+by any backend, on behalf of any algorithm — can be answered again
+without touching the network store.  Distances are backend-independent
+(every backend is exact), so the memo is keyed on locations only and a
+fill from one backend serves them all.
+
+The memo is deliberately dumb about invalidation: it only knows how to
+drop everything.  The :class:`~repro.engine.engine.DistanceEngine`
+decides *when* (object churn, edge-weight mutation), because only it
+sees those events.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+DEFAULT_MEMO_CAPACITY = 65536
+
+MemoKey = tuple
+
+
+@dataclass
+class MemoCounters:
+    """Monotone counters; consumers snapshot and delta them per query."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class DistanceMemo:
+    """A bounded least-recently-used map of distance-pair keys."""
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[MemoKey, float] = OrderedDict()
+        self.counters = MemoCounters()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: MemoKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: MemoKey) -> float | None:
+        """The cached distance, refreshing recency; None on a miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.counters.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.counters.hits += 1
+        return value
+
+    def put(self, key: MemoKey, value: float) -> None:
+        """Insert (or refresh) one settled distance, evicting LRU entries.
+
+        Fills are not counted as hits or misses — only lookups are —
+        so opportunistic recording (e.g. CE emissions) does not distort
+        the hit ratio.
+        """
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.counters.evictions += 1
+
+    def clear(self, count_invalidation: bool = True) -> None:
+        """Drop every entry (a mutation made them unsafe)."""
+        if self._entries and count_invalidation:
+            self.counters.invalidations += 1
+        self._entries.clear()

@@ -1,0 +1,397 @@
+"""The unified distance service every layer routes through.
+
+One :class:`DistanceEngine` per :class:`~repro.core.query.Workspace`
+owns all network-distance work:
+
+* an **expander pool** keeping resumable wavefronts alive, so repeated
+  calls with the same source location continue a previous expansion
+  instead of restarting it (the paper's Section 6.1 maintained-state
+  idea, promoted from per-algorithm bookkeeping to a shared service);
+* a bounded LRU **memo** of settled ``(source, target) -> distance``
+  results shared across queries, algorithms and backends;
+* pluggable **backends** (:mod:`repro.engine.backends`) selected
+  per-engine or per-call;
+* batch helpers (:meth:`distances`, :meth:`matrix`, :meth:`vectors`)
+  that order work source-major to maximise wavefront reuse;
+* the workspace's ``store`` threaded into every expander it builds, so
+  page reads are charged by default — call sites can no longer forget.
+
+Cached state is only as good as the graph it was computed on; the
+workspace's mutation paths call :meth:`invalidate` (object churn) or
+:meth:`invalidate_network` (edge-weight changes, which additionally
+reset backend precomputation such as landmark tables).
+
+Construction discipline: outside :mod:`repro.engine` and
+:mod:`repro.network`, nothing instantiates
+:class:`~repro.network.dijkstra.DijkstraExpander` or
+:class:`~repro.network.astar.AStarExpander` directly — a grep-enforced
+test (``tests/test_engine.py``) keeps it that way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    DEFAULT_LANDMARK_COUNT,
+    DistanceBackend,
+    make_backend,
+)
+from repro.engine.cache import DEFAULT_MEMO_CAPACITY, DistanceMemo
+from repro.network.astar import AStarExpander, HeuristicFn
+from repro.network.dijkstra import DijkstraExpander
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.storage import NetworkStore
+
+DEFAULT_POOL_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class EngineCounters:
+    """A snapshot of the engine's monotone counters.
+
+    ``hits``/``misses``/``evictions`` describe the distance memo;
+    ``pool_reuses``/``pool_evictions`` the expander pool;
+    ``invalidations`` counts mutation-triggered cache drops.  Per-query
+    figures are deltas between two snapshots (see ``core/base.py``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    pool_reuses: int = 0
+    pool_evictions: int = 0
+
+
+def _location_key(location: NetworkLocation) -> tuple:
+    """A hashable, purely numeric identity for a network location."""
+    if location.node_id is not None:
+        return (0, location.node_id, 0.0)
+    return (1, location.edge_id, location.offset)
+
+
+def _pair_key(a: NetworkLocation, b: NetworkLocation) -> tuple:
+    """Order-free memo key — the network is undirected, so d is symmetric."""
+    ka = _location_key(a)
+    kb = _location_key(b)
+    return (ka, kb) if ka <= kb else (kb, ka)
+
+
+class DistanceEngine:
+    """Single entry point for all network-distance computation."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        store: NetworkStore | None = None,
+        placements=None,
+        backend: str = DEFAULT_BACKEND,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+        pool_capacity: int = DEFAULT_POOL_CAPACITY,
+        landmark_count: int = DEFAULT_LANDMARK_COUNT,
+        landmark_seed: int = 0,
+    ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown distance backend {backend!r}; "
+                f"choose from {BACKEND_NAMES}"
+            )
+        if pool_capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {pool_capacity}")
+        self.network = network
+        self.store = store
+        self.placements = placements
+        self.backend_name = backend
+        self.pool_capacity = pool_capacity
+        self.landmark_count = landmark_count
+        self.landmark_seed = landmark_seed
+
+        self._backends: dict[str, DistanceBackend] = {}
+        self._pool: OrderedDict[tuple, object] = OrderedDict()
+        self._memo = DistanceMemo(memo_capacity)
+        self._retired_nodes = 0
+        self._pool_reuses = 0
+        self._pool_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def _backend(self, name: str | None = None) -> DistanceBackend:
+        name = name or self.backend_name
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = make_backend(
+                name,
+                self.network,
+                store=self.store,
+                landmark_count=self.landmark_count,
+                landmark_seed=self.landmark_seed,
+            )
+            self._backends[name] = backend
+        return backend
+
+    def _astar_backend_name(self) -> str:
+        """The A*-family backend matching the engine's configuration.
+
+        Algorithms whose cost model is built on goal-directed search
+        (EDC, LBC, the ANN lower-bound processor) stay on A* even when
+        the engine default is ``"dijkstra"``; a landmark configuration
+        is honoured as-is.
+        """
+        if self.backend_name == "dijkstra":
+            return "astar"
+        return self.backend_name
+
+    # ------------------------------------------------------------------
+    # Expander pool
+    # ------------------------------------------------------------------
+    def _checkout(self, key: tuple, factory):
+        expander = self._pool.get(key)
+        if expander is not None:
+            self._pool.move_to_end(key)
+            self._pool_reuses += 1
+            return expander
+        expander = factory()
+        self._pool[key] = expander
+        while len(self._pool) > self.pool_capacity:
+            _, evicted = self._pool.popitem(last=False)
+            self._retired_nodes += evicted.nodes_settled
+            self._pool_evictions += 1
+        return expander
+
+    def expander(self, source: NetworkLocation, backend: str | None = None):
+        """A pooled resumable expander for ``source`` (backend default).
+
+        Repeated calls with the same source (and backend) return the
+        same object, wavefront intact.
+        """
+        chosen = self._backend(backend)
+        key = (chosen.name, _location_key(source), None)
+        return self._checkout(key, lambda: chosen.make_expander(source))
+
+    def astar_expander(
+        self,
+        source: NetworkLocation,
+        heuristic: HeuristicFn | None = None,
+        slot: int | None = None,
+    ) -> AStarExpander:
+        """A pooled A*-family expander for goal-directed algorithms.
+
+        Without ``heuristic`` the engine's A* backend supplies one
+        (landmarks when configured, Euclidean otherwise).  ``slot``
+        separates pool entries for callers that interleave
+        ``search_toward`` handles across several expanders — two
+        co-located query points must not collapse onto one expander, or
+        one dimension's live search would invalidate the other's.
+        """
+        if heuristic is not None:
+            key = (f"astar@{id(heuristic):x}", _location_key(source), slot)
+            return self._checkout(
+                key,
+                lambda: AStarExpander(
+                    self.network, source, store=self.store, heuristic=heuristic
+                ),
+            )
+        chosen = self._backend(self._astar_backend_name())
+        key = (chosen.name, _location_key(source), slot)
+        return self._checkout(key, lambda: chosen.make_expander(source))
+
+    def ine_expander(self, source: NetworkLocation) -> DijkstraExpander:
+        """A *fresh* incremental-nearest-object wavefront (never pooled).
+
+        INE emission state ("which objects has this wavefront already
+        reported?") is inherently per-query; reusing it across queries
+        would silently drop objects.  The expander still gets the
+        engine's store and placement source, so page accounting and
+        middle-layer probing work by default.
+        """
+        return DijkstraExpander(
+            self.network, source, store=self.store, placements=self.placements
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance(
+        self,
+        source: NetworkLocation,
+        target: NetworkLocation,
+        backend: str | None = None,
+    ) -> float:
+        """Exact network distance, memoised (inf when unreachable)."""
+        key = _pair_key(source, target)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        value = self.expander(source, backend=backend).distance_to(target)
+        self._memo.put(key, value)
+        return value
+
+    def distance_via(
+        self,
+        source: NetworkLocation,
+        target: NetworkLocation,
+        expander,
+    ) -> float:
+        """Memoised distance resolved through a caller-held expander.
+
+        Lets algorithms that drive their own pooled expanders (LBC's
+        network-NN stream) still read and feed the cross-query memo.
+        """
+        key = _pair_key(source, target)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        value = expander.distance_to(target)
+        self._memo.put(key, value)
+        return value
+
+    def record(
+        self, source: NetworkLocation, target: NetworkLocation, value: float
+    ) -> None:
+        """Opportunistically memoise a distance settled elsewhere.
+
+        CE emissions and completed LBC lower-bound searches are exact;
+        recording them lets later queries (and ``explain``) answer from
+        cache.  Fills never count as hits or misses.
+        """
+        self._memo.put(_pair_key(source, target), value)
+
+    def distances(
+        self,
+        source: NetworkLocation,
+        targets: Sequence[NetworkLocation],
+        backend: str | None = None,
+    ) -> list[float]:
+        """Distances from one source to many targets, one wavefront."""
+        return [self.distance(source, target, backend=backend) for target in targets]
+
+    def matrix(
+        self,
+        sources: Sequence[NetworkLocation],
+        targets: Sequence[NetworkLocation],
+        backend: str | None = None,
+    ) -> list[list[float]]:
+        """``matrix[i][j]`` = distance from ``sources[i]`` to ``targets[j]``.
+
+        Source-major iteration keeps each pooled wavefront hot for the
+        full target sweep before moving on.
+        """
+        return [self.distances(source, targets, backend=backend) for source in sources]
+
+    def vector(
+        self,
+        queries: Sequence[NetworkLocation],
+        obj,
+        backend: str | None = None,
+    ) -> tuple[float, ...]:
+        """One object's evaluation vector: distances plus attributes."""
+        distances = tuple(
+            self.distance(q, obj.location, backend=backend) for q in queries
+        )
+        return distances + obj.attributes
+
+    def vectors(
+        self,
+        queries: Sequence[NetworkLocation],
+        objects: Sequence,
+        backend: str | None = None,
+    ) -> list[tuple[float, ...]]:
+        """Evaluation vectors for many objects, ordered like ``objects``.
+
+        Work runs source-major (every object against one query before
+        the next query starts) so each wavefront is reused across the
+        whole object set — the batch-API contract of the engine.
+        """
+        locations = [obj.location for obj in objects]
+        columns = [
+            self.distances(q, locations, backend=backend) for q in queries
+        ]
+        return [
+            tuple(column[i] for column in columns) + obj.attributes
+            for i, obj in enumerate(objects)
+        ]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> EngineCounters:
+        memo = self._memo.counters
+        return EngineCounters(
+            hits=memo.hits,
+            misses=memo.misses,
+            evictions=memo.evictions,
+            invalidations=memo.invalidations,
+            pool_reuses=self._pool_reuses,
+            pool_evictions=self._pool_evictions,
+        )
+
+    def nodes_settled(self) -> int:
+        """Total nodes ever settled by engine-owned expanders (monotone).
+
+        Includes wavefronts already evicted from the pool; algorithms
+        report per-run work as the delta around their execution.
+        """
+        live = sum(e.nodes_settled for e in self._pool.values())
+        return self._retired_nodes + live
+
+    def cache_info(self) -> dict[str, int | str]:
+        """A flat summary for CLI output and debugging."""
+        c = self.counters
+        return {
+            "backend": self.backend_name,
+            "memo_entries": len(self._memo),
+            "memo_capacity": self._memo.capacity,
+            "pool_entries": len(self._pool),
+            "pool_capacity": self.pool_capacity,
+            "hits": c.hits,
+            "misses": c.misses,
+            "evictions": c.evictions,
+            "invalidations": c.invalidations,
+            "pool_reuses": c.pool_reuses,
+            "pool_evictions": c.pool_evictions,
+        }
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _retire_pool(self) -> None:
+        for expander in self._pool.values():
+            self._retired_nodes += expander.nodes_settled
+        self._pool.clear()
+
+    def invalidate(self) -> None:
+        """Drop cached distances and wavefronts (object churn).
+
+        Object insertion/removal does not change junction-to-junction
+        distances, but pooled INE-free wavefronts and memoised distances
+        to *object locations* may now describe stale objects; dropping
+        everything is cheap and simple.
+        """
+        self._memo.clear()
+        self._retire_pool()
+
+    def invalidate_network(self) -> None:
+        """Drop everything derived from edge weights (graph mutation).
+
+        Beyond :meth:`invalidate`, backend precomputation (landmark
+        tables) is reset — it encodes distances of the old graph.
+        """
+        self.invalidate()
+        for backend in self._backends.values():
+            backend.reset()
+
+    def clear(self) -> None:
+        """Forget all cached state without counting an invalidation.
+
+        Called by ``Workspace.reset_io(cold=True)`` so cold-buffer
+        measurements start from a cold engine too.
+        """
+        self._memo.clear(count_invalidation=False)
+        self._retire_pool()

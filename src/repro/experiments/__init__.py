@@ -8,6 +8,7 @@ or call individual figure runners (see :mod:`repro.experiments.figures`).
 """
 
 from repro.experiments.ablations import (
+    run_ablation_backend,
     run_ablation_buffer,
     run_ablation_ce_strategy,
     run_ablation_heuristic,
@@ -42,6 +43,7 @@ __all__ = [
     "FigureSeries",
     "WorkloadCache",
     "format_series",
+    "run_ablation_backend",
     "run_ablation_buffer",
     "run_ablation_ce_strategy",
     "run_ablation_heuristic",

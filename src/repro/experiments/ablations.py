@@ -12,7 +12,9 @@ the paper's three algorithms:
   bounds on the sparse network;
 * :func:`run_ablation_ce_strategy` — CE wavefront alternation policies;
 * :func:`run_ablation_buffer` — CE's page misses across buffer sizes
-  (the thrashing behind Figure 6(a)'s superlinearity).
+  (the thrashing behind Figure 6(a)'s superlinearity);
+* :func:`run_ablation_backend` — the distance engine's pluggable
+  backends (plain A* vs landmark-guided) under the same algorithm.
 
 ``python -m repro.experiments --ablations`` prints them all.
 """
@@ -144,6 +146,39 @@ def run_ablation_buffer(
     return series
 
 
+def run_ablation_backend(
+    base: ExperimentConfig | None = None,
+    cache: WorkloadCache | None = None,
+) -> FigureSeries:
+    """Distance-engine backends compared under one algorithm (LBC).
+
+    ``"dijkstra"`` (the workspace default — goal-directed algorithms
+    then fall back to plain Euclidean A*) vs ``"astar+landmarks"``
+    (ALT bounds supplied by the engine, no per-algorithm wiring).
+    Answers are identical; the backend only changes search effort.
+    """
+    base = base or ExperimentConfig()
+    series = FigureSeries(
+        figure="Abl-backend",
+        title="Engine backend: euclidean A* vs astar+landmarks",
+        x_label="network",
+        y_label="nodes settled",
+    )
+    for name in DENSITY_ORDER:
+        merged = {}
+        for backend in ("dijkstra", "astar+landmarks"):
+            algorithm = LowerBoundConstraint()
+            algorithm.name = f"LBC[{backend}]"
+            out = run_experiment(
+                base.with_(network=name, distance_backend=backend),
+                [algorithm],
+                cache=cache,
+            )
+            merged.update(out)
+        series.add_point(name, merged, "nodes_settled")
+    return series
+
+
 def run_all_ablations(
     base: ExperimentConfig | None = None,
     cache: WorkloadCache | None = None,
@@ -157,4 +192,5 @@ def run_all_ablations(
         run_ablation_heuristic(base, cache),
         run_ablation_ce_strategy(base, cache),
         run_ablation_buffer(base, cache=cache),
+        run_ablation_backend(base, cache),
     ]

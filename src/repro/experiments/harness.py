@@ -49,6 +49,7 @@ class ExperimentConfig:
     network_seed: int = 7
     workload_seed: int = 1
     query_seed: int = 100
+    distance_backend: str = "dijkstra"
 
     def with_(self, **changes) -> "ExperimentConfig":
         """A copy with some knobs changed (sweep convenience)."""
@@ -73,6 +74,9 @@ class AggregateStats:
     total_response_s: float
     modeled_initial_s: float
     modeled_total_s: float
+    engine_hits: float = 0.0
+    engine_misses: float = 0.0
+    engine_evictions: float = 0.0
 
     @classmethod
     def from_stats(cls, runs: Sequence[QueryStats]) -> "AggregateStats":
@@ -98,6 +102,9 @@ class AggregateStats:
             total_response_s=mean(r.total_response_s for r in runs),
             modeled_initial_s=mean(r.modeled_initial_s for r in runs),
             modeled_total_s=mean(r.modeled_total_s for r in runs),
+            engine_hits=mean(r.engine_hits for r in runs),
+            engine_misses=mean(r.engine_misses for r in runs),
+            engine_evictions=mean(r.engine_evictions for r in runs),
         )
 
     def metric(self, name: str) -> float:
@@ -133,6 +140,7 @@ class WorkloadCache:
             config.omega,
             config.workload_seed,
             config.buffer_bytes,
+            config.distance_backend,
         )
         if key not in self._workspaces:
             network = self.network(config)
@@ -140,7 +148,11 @@ class WorkloadCache:
                 network, config.omega, seed=config.workload_seed
             )
             self._workspaces[key] = Workspace.build(
-                network, objects, paged=True, buffer_bytes=config.buffer_bytes
+                network,
+                objects,
+                paged=True,
+                buffer_bytes=config.buffer_bytes,
+                distance_backend=config.distance_backend,
             )
         return self._workspaces[key]
 

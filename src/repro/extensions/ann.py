@@ -36,8 +36,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.query import Workspace
-from repro.network.astar import AStarExpander, LowerBoundSearch
-from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 
@@ -101,13 +99,9 @@ class AggregateNNBaseline:
         started = time.perf_counter()
         aggregate = self._aggregate
         n = len(queries)
-        expanders = [
-            DijkstraExpander(
-                workspace.network, q, store=workspace.store,
-                placements=workspace.middle,
-            )
-            for q in queries
-        ]
+        # Fresh INE wavefronts from the engine: emission state is
+        # per-query, but store/placement wiring comes for free.
+        expanders = [workspace.engine.ine_expander(q) for q in queries]
         known: dict[int, dict[int, float]] = {}
         objects: dict[int, SpatialObject] = {}
         complete: dict[int, float] = {}
@@ -203,10 +197,13 @@ class AggregateNNLowerBound:
         aggregate = self._aggregate
         n = len(queries)
         query_points = [q.point for q in queries]
+        engine = workspace.engine
+        # Pooled A*-family expanders (slot = dimension index, as in LBC)
+        # so repeated ANN queries resume earlier wavefronts.
         expanders = [
-            AStarExpander(workspace.network, q, store=workspace.store)
-            for q in queries
+            engine.astar_expander(q, slot=i) for i, q in enumerate(queries)
         ]
+        nodes_before = engine.nodes_settled()
         result = AggregateNNResult()
 
         # Stream candidates by Euclidean aggregate: a lower bound of the
@@ -249,6 +246,7 @@ class AggregateNNLowerBound:
             if search.done:
                 row[target] = search.distance
                 flags[target] = True
+                engine.record(queries[target], obj.location, search.distance)
                 return
             # Push the bound up a few nodes at a time; abandoning the
             # search keeps the settled region for later candidates.
@@ -258,6 +256,7 @@ class AggregateNNLowerBound:
                 if search.done:
                     flags[target] = True
                     row[target] = search.distance
+                    engine.record(queries[target], obj.location, search.distance)
                     return
 
         next_euclid: tuple[float, SpatialObject] | None = None
@@ -320,7 +319,7 @@ class AggregateNNLowerBound:
                     value=value,
                 )
             )
-        result.nodes_settled = sum(e.nodes_settled for e in expanders)
+        result.nodes_settled = engine.nodes_settled() - nodes_before
         result.total_response_s = time.perf_counter() - started
         return result
 
@@ -335,18 +334,13 @@ def brute_force_aggregate_nn(
     func = _resolve_aggregate(aggregate)
     started = time.perf_counter()
     result = AggregateNNResult()
-    expanders = [
-        DijkstraExpander(workspace.network, q) for q in queries
-    ]
-    for expander in expanders:
-        while expander.expand_next() is not None:
-            pass
+    engine = workspace.engine
+    nodes_before = engine.nodes_settled()
+    objects = list(workspace.objects)
+    rows = engine.matrix(queries, [obj.location for obj in objects])
     scored = []
-    for obj in workspace.objects:
-        distances = tuple(
-            _settled_distance(workspace.network, expander, obj)
-            for expander in expanders
-        )
+    for j, obj in enumerate(objects):
+        distances = tuple(row[j] for row in rows)
         scored.append((func(distances), obj.object_id, obj, distances))
         result.distance_computations += len(queries)
     scored.sort(key=lambda item: (item[0], item[1]))
@@ -354,24 +348,6 @@ def brute_force_aggregate_nn(
         result.answers.append(
             AggregateNNAnswer(obj=obj, distances=distances, value=value)
         )
-    result.nodes_settled = sum(e.nodes_settled for e in expanders)
+    result.nodes_settled = engine.nodes_settled() - nodes_before
     result.total_response_s = time.perf_counter() - started
     return result
-
-
-def _settled_distance(network, expander: DijkstraExpander, obj) -> float:
-    loc = obj.location
-    if loc.node_id is not None:
-        return expander.settled.get(loc.node_id, math.inf)
-    edge = network.edge(loc.edge_id)
-    best = math.inf
-    settled_u = expander.settled.get(edge.u)
-    if settled_u is not None:
-        best = settled_u + loc.offset
-    settled_v = expander.settled.get(edge.v)
-    if settled_v is not None:
-        best = min(best, settled_v + (edge.length - loc.offset))
-    direct = network.direct_edge_distance(expander.source, loc)
-    if direct is not None:
-        best = min(best, direct)
-    return best

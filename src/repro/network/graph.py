@@ -148,6 +148,49 @@ class RoadNetwork:
         self._adjacency[v].append((u, edge_id))
         return edge
 
+    def update_edge_length(self, edge_id: int, length: float) -> Edge:
+        """Change an edge's travel length (congestion-style reweighting).
+
+        Only straight edges can be reweighted — a polyline's length *is*
+        its arc length, and re-scaling it would desynchronise on-edge
+        offsets from their planar points.  The new length must satisfy
+        the same ``length >= chord`` admissibility rule as
+        :meth:`add_edge`.  Callers owning derived state (expanders,
+        distance caches, landmark tables) must invalidate it; the
+        :class:`~repro.engine.engine.DistanceEngine` does so through
+        ``Workspace.update_edge_length``.
+        """
+        edge = self.validate_edge_length(edge_id, length)
+        updated = Edge(
+            edge_id=edge_id, u=edge.u, v=edge.v, length=float(length), geometry=None
+        )
+        self._edges[edge_id] = updated
+        return updated
+
+    def validate_edge_length(self, edge_id: int, length: float) -> Edge:
+        """Check a prospective reweighting without mutating anything.
+
+        Raises the same errors :meth:`update_edge_length` would; callers
+        holding state derived from the edge (object placements) can
+        validate up front and stay consistent if the change is illegal.
+        Returns the current edge.
+        """
+        edge = self._edges[edge_id]
+        if edge.geometry is not None:
+            raise ValueError(
+                f"edge {edge_id} carries polyline geometry; its length is "
+                "the arc length and cannot be reweighted"
+            )
+        chord = self._points[edge.u].distance_to(self._points[edge.v])
+        if length <= 0.0:
+            raise ValueError(f"edge length must be positive, got {length}")
+        if length < chord - _LENGTH_SLACK * max(1.0, chord):
+            raise ValueError(
+                f"edge ({edge.u}, {edge.v}) length {length} is shorter than "
+                f"the Euclidean distance {chord} between its endpoints"
+            )
+        return edge
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

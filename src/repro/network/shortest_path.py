@@ -19,16 +19,18 @@ def network_distance(
     a: NetworkLocation,
     b: NetworkLocation,
     method: str = "dijkstra",
+    store=None,
 ) -> float:
     """Shortest network distance between two locations (inf if disconnected).
 
     ``method`` is ``"dijkstra"`` or ``"astar"``; both return the same
-    value, A* typically visiting fewer nodes.
+    value, A* typically visiting fewer nodes.  Pass the workspace's
+    ``store`` to charge page reads to its buffer pool.
     """
     if method == "dijkstra":
-        return DijkstraExpander(network, a).distance_to(b)
+        return DijkstraExpander(network, a, store=store).distance_to(b)
     if method == "astar":
-        return AStarExpander(network, a).distance_to(b)
+        return AStarExpander(network, a, store=store).distance_to(b)
     raise ValueError(f"unknown method {method!r}")
 
 
@@ -36,9 +38,10 @@ def network_distances(
     network: RoadNetwork,
     source: NetworkLocation,
     targets: Sequence[NetworkLocation],
+    store=None,
 ) -> list[float]:
     """Distances from one source to many targets with a single wavefront."""
-    expander = DijkstraExpander(network, source)
+    expander = DijkstraExpander(network, source, store=store)
     return [expander.distance_to(target) for target in targets]
 
 
@@ -46,13 +49,18 @@ def distance_matrix(
     network: RoadNetwork,
     sources: Sequence[NetworkLocation],
     targets: Sequence[NetworkLocation],
+    store=None,
 ) -> list[list[float]]:
     """``matrix[i][j]`` = network distance from ``sources[i]`` to ``targets[j]``.
 
-    One full-strength Dijkstra per source; this is the brute-force
-    engine of the naive baseline.
+    One full-strength Dijkstra per source.  Workspace-bound callers
+    should prefer :meth:`repro.engine.DistanceEngine.matrix`, which
+    additionally memoises and reuses pooled wavefronts.
     """
-    return [network_distances(network, src, targets) for src in sources]
+    return [
+        network_distances(network, src, targets, store=store)
+        for src in sources
+    ]
 
 
 def shortest_path_nodes(

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.network import AStarExpander, DijkstraExpander
 
-from conftest import build_random_network, place_random_objects, random_locations
+from conftest import build_random_network, random_locations
 
 
 class TestAStarDistances:

@@ -5,7 +5,6 @@ equivalence sweeps live in test_integration.py and the hypothesis
 suite in test_property_algorithms.py.
 """
 
-import math
 
 import pytest
 
@@ -124,9 +123,7 @@ class TestSkylineSemantics:
             if obj.object_id in member_ids:
                 continue
             distances = [
-                NaiveSkyline._object_distance(
-                    network, _full_expander(network, q), obj
-                )
+                network_distances(network, q, [obj.location])[0]
                 for q in queries
             ]
             vector = tuple(distances) + obj.attributes
@@ -134,15 +131,6 @@ class TestSkylineSemantics:
             checked += 1
             if checked >= 5:
                 break
-
-
-def _full_expander(network, source):
-    from repro.network import DijkstraExpander
-
-    expander = DijkstraExpander(network, source)
-    while expander.expand_next() is not None:
-        pass
-    return expander
 
 
 class TestCESpecifics:

@@ -92,6 +92,122 @@ class TestRemoveObject:
         assert all(p.obj.object_id != 3 for p in remaining)
 
 
+class TestEngineInvalidation:
+    """Mutations drop cached distances; re-queries answer correctly."""
+
+    def primed_workspace(self, seed=2001, paged=False):
+        network, workspace = fresh_workspace(seed, paged)
+        queries = random_locations(network, 2, seed=seed + 1)
+        NaiveSkyline().run(workspace, queries)  # fill memo and pool
+        assert workspace.engine.cache_info()["memo_entries"] > 0
+        return network, workspace, queries
+
+    def test_add_object_drops_cached_distances(self):
+        network, workspace, queries = self.primed_workspace(2001)
+        workspace.add_object(object_on_edge(network, 9000))
+        info = workspace.engine.cache_info()
+        assert info["memo_entries"] == 0
+        assert info["pool_entries"] == 0
+        assert info["invalidations"] >= 1
+
+    def test_remove_object_drops_cached_distances(self):
+        network, workspace, queries = self.primed_workspace(2011)
+        victim = sorted(o.object_id for o in workspace.objects)[0]
+        workspace.remove_object(victim)
+        assert workspace.engine.cache_info()["memo_entries"] == 0
+
+    def test_move_object_drops_cache_and_requery_is_correct(self):
+        network, workspace, queries = self.primed_workspace(2021)
+        # Move an object onto the first query point: it must now win
+        # that dimension, which only happens if stale distances are gone.
+        moved_id = sorted(o.object_id for o in workspace.objects)[0]
+        workspace.move_object(moved_id, queries[0])
+        assert workspace.engine.cache_info()["memo_entries"] == 0
+        result = LBC().run(workspace, queries)
+        assert moved_id in result.object_ids()
+        assert result.same_answer(NaiveSkyline().run(workspace, queries))
+
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_edge_reweight_invalidates_and_requery_is_correct(self, paged):
+        from repro.network import DijkstraExpander
+
+        network, workspace, queries = self.primed_workspace(2031, paged)
+        edge = max(network.edges(), key=lambda e: e.length)
+        workspace.update_edge_length(edge.edge_id, edge.length * 3.0)
+        info = workspace.engine.cache_info()
+        assert info["memo_entries"] == 0
+        assert info["pool_entries"] == 0
+        # Cached distances must match a fresh ground-truth expansion on
+        # the mutated graph, not the old one.
+        targets = [o.location for o in workspace.objects]
+        for q in queries:
+            fresh = DijkstraExpander(network, q)
+            for target in targets:
+                assert workspace.engine.distance(q, target) == pytest.approx(
+                    fresh.distance_to(target)
+                )
+
+    def test_algorithms_agree_after_mixed_mutations(self):
+        network, workspace, queries = self.primed_workspace(2041)
+        edge = max(network.edges(), key=lambda e: e.length)
+        workspace.update_edge_length(edge.edge_id, edge.length * 2.0)
+        workspace.add_object(object_on_edge(network, 9100, edge_index=3))
+        reference = NaiveSkyline().run(workspace, queries)
+        for algorithm in (CE(), EDC(), LBC()):
+            assert algorithm.run(workspace, queries).same_answer(reference)
+
+    def test_landmark_backend_survives_network_mutation(self):
+        network = build_random_network(50, 30, seed=2051, detour_max=0.7)
+        objects = place_random_objects(network, 25, seed=2052)
+        workspace = Workspace.build(
+            network, objects, paged=False, distance_backend="astar+landmarks"
+        )
+        queries = random_locations(network, 2, seed=2053)
+        LBC().run(workspace, queries)  # builds the landmark tables
+        edge = max(network.edges(), key=lambda e: e.length)
+        workspace.update_edge_length(edge.edge_id, edge.length * 4.0)
+        # Stale landmark tables would break A* admissibility and could
+        # return wrong distances; invalidate_network rebuilds them.
+        result = LBC().run(workspace, queries)
+        assert result.same_answer(NaiveSkyline().run(workspace, queries))
+
+    def test_update_edge_length_rejects_misfit_objects(self):
+        network, workspace = fresh_workspace(2061, paged=False)
+        placed = [o for o in workspace.objects if o.location.edge_id is not None]
+        obj = max(placed, key=lambda o: o.location.offset)
+        with pytest.raises(ValueError, match="does not fit"):
+            workspace.update_edge_length(
+                obj.location.edge_id, obj.location.offset * 0.5
+            )
+
+    def test_rejected_reweight_leaves_workspace_untouched(self):
+        """A length the *network* rejects (below the chord) must not
+        strand objects half-deregistered: validation precedes mutation."""
+        network, workspace = fresh_workspace(2071, paged=False)
+        queries = random_locations(network, 2, seed=2072)
+        before = NaiveSkyline().run(workspace, queries)
+        count = len(workspace.objects)
+        # An edge whose on-edge objects all fit a sub-chord length, so
+        # only the network's chord rule can reject it.
+        for edge in network.edges():
+            on_edge = [
+                p.obj
+                for p in workspace.middle.objects_on(edge.edge_id)
+                if p.obj.location.edge_id == edge.edge_id
+            ]
+            chord = network.node_point(edge.u).distance_to(
+                network.node_point(edge.v)
+            )
+            if on_edge and all(o.location.offset < chord * 0.5 for o in on_edge):
+                break
+        else:
+            pytest.skip("no edge with early-offset objects in this workload")
+        with pytest.raises(ValueError, match="shorter than the Euclidean"):
+            workspace.update_edge_length(edge.edge_id, chord * 0.6)
+        assert len(workspace.objects) == count
+        assert NaiveSkyline().run(workspace, queries).same_answer(before)
+
+
 class TestChurn:
     @pytest.mark.parametrize("paged", [False, True])
     def test_random_churn_keeps_algorithms_agreeing(self, paged):

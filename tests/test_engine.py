@@ -1,0 +1,327 @@
+"""The distance engine: memo, pool, backends, accounting, discipline.
+
+Covers the service layer itself (``repro.engine``) plus the two
+contracts the refactor established repo-wide:
+
+* every expander the engine hands out charges page reads to the
+  workspace's buffer pool by default, and
+* no module outside ``repro.engine``/``repro.network`` constructs a
+  raw expander (grep-enforced below).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import CE, EDC, LBC, NaiveSkyline, Workspace
+from repro.core.explain import object_vector
+from repro.datasets import grid_network
+from repro.datasets.objects import extract_objects
+from repro.engine import (
+    BACKEND_NAMES,
+    DistanceEngine,
+    DistanceMemo,
+    make_backend,
+)
+from repro.network import network_distance
+from repro.network.astar import AStarExpander
+from repro.network.dijkstra import DijkstraExpander
+
+from conftest import build_random_network, place_random_objects, random_locations
+
+
+def small_workspace(seed=42, paged=False, backend="dijkstra"):
+    network = build_random_network(40, 25, seed=seed, detour_max=0.6)
+    objects = place_random_objects(network, 20, seed=seed + 1)
+    workspace = Workspace.build(
+        network, objects, paged=paged, distance_backend=backend
+    )
+    return network, workspace
+
+
+# ----------------------------------------------------------------------
+# DistanceMemo
+# ----------------------------------------------------------------------
+class TestDistanceMemo:
+    def test_hit_miss_counting(self):
+        memo = DistanceMemo(8)
+        assert memo.get(("a", "b")) is None
+        memo.put(("a", "b"), 1.5)
+        assert memo.get(("a", "b")) == 1.5
+        assert memo.counters.misses == 1
+        assert memo.counters.hits == 1
+
+    def test_lru_eviction(self):
+        memo = DistanceMemo(2)
+        memo.put("a", 1.0)
+        memo.put("b", 2.0)
+        assert memo.get("a") == 1.0  # refresh "a": "b" is now LRU
+        memo.put("c", 3.0)
+        assert "b" not in memo
+        assert "a" in memo and "c" in memo
+        assert memo.counters.evictions == 1
+
+    def test_clear_counts_invalidation(self):
+        memo = DistanceMemo(8)
+        memo.put("a", 1.0)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.counters.invalidations == 1
+        memo.clear(count_invalidation=False)
+        assert memo.counters.invalidations == 1
+
+
+# ----------------------------------------------------------------------
+# Engine memo semantics
+# ----------------------------------------------------------------------
+class TestEngineMemo:
+    def test_repeated_distance_hits_cache(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        a, b = random_locations(network, 2, seed=7)
+        first = engine.distance(a, b)
+        before = engine.counters
+        second = engine.distance(a, b)
+        after = engine.counters
+        assert second == first
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_memo_key_is_symmetric(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        a, b = random_locations(network, 2, seed=11)
+        forward = engine.distance(a, b)
+        before = engine.counters
+        backward = engine.distance(b, a)
+        assert backward == pytest.approx(forward)
+        assert engine.counters.hits == before.hits + 1
+
+    def test_record_feeds_later_queries(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        a, b = random_locations(network, 2, seed=13)
+        truth = DijkstraExpander(network, a).distance_to(b)
+        engine.record(a, b, truth)
+        before = engine.counters
+        assert engine.distance(a, b) == truth
+        assert engine.counters.hits == before.hits + 1
+
+    def test_matches_raw_dijkstra(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        locations = random_locations(network, 6, seed=17)
+        for a in locations[:3]:
+            for b in locations[3:]:
+                expected = DijkstraExpander(network, a).distance_to(b)
+                assert engine.distance(a, b) == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Expander pool
+# ----------------------------------------------------------------------
+class TestExpanderPool:
+    def test_same_source_reuses_expander(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        source = network.location_at_node(sorted(network.node_ids())[0])
+        first = engine.expander(source)
+        second = engine.expander(source)
+        assert first is second
+        assert engine.counters.pool_reuses >= 1
+
+    def test_eviction_retires_settled_nodes(self):
+        network, _ = small_workspace()
+        engine = DistanceEngine(network, pool_capacity=1)
+        nodes = sorted(network.node_ids())
+        first = engine.expander(network.location_at_node(nodes[0]))
+        while first.expand_next() is not None:
+            pass
+        settled = first.nodes_settled
+        assert settled > 0
+        engine.expander(network.location_at_node(nodes[1]))  # evicts first
+        assert engine.counters.pool_evictions == 1
+        assert engine.nodes_settled() >= settled
+
+    def test_astar_slots_do_not_collide(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        source = network.location_at_node(sorted(network.node_ids())[0])
+        a = engine.astar_expander(source, slot=0)
+        b = engine.astar_expander(source, slot=1)
+        assert a is not b
+        assert a is engine.astar_expander(source, slot=0)
+
+    def test_ine_expander_never_pooled(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        source = network.location_at_node(sorted(network.node_ids())[0])
+        assert engine.ine_expander(source) is not engine.ine_expander(source)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_backend_names_stable(self):
+        assert BACKEND_NAMES == ("astar", "astar+landmarks", "dijkstra")
+
+    def test_unknown_backend_rejected(self):
+        network, _ = small_workspace()
+        with pytest.raises(ValueError, match="unknown distance backend"):
+            DistanceEngine(network, backend="bogus")
+        with pytest.raises(ValueError, match="unknown distance backend"):
+            make_backend("bogus", network)
+
+    def test_per_call_backend_override(self):
+        network, workspace = small_workspace()
+        engine = workspace.engine
+        source = network.location_at_node(sorted(network.node_ids())[0])
+        assert isinstance(engine.expander(source), DijkstraExpander)
+        assert isinstance(
+            engine.expander(source, backend="astar"), AStarExpander
+        )
+
+    def test_workspace_backend_selection(self):
+        _, workspace = small_workspace(backend="astar+landmarks")
+        assert workspace.engine.backend_name == "astar+landmarks"
+        stats = LBC().run(
+            workspace, random_locations(workspace.network, 2, seed=3)
+        ).stats
+        assert stats.distance_backend == "astar+landmarks"
+
+
+# ----------------------------------------------------------------------
+# Accounting: the store-threading bugfixes
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_engine_distances_charge_page_reads(self):
+        network, workspace = small_workspace(paged=True)
+        workspace.reset_io(cold=True)
+        a, b = random_locations(network, 2, seed=19)
+        workspace.engine.distance(a, b)
+        assert workspace.network_pages_read() > 0
+
+    def test_object_vector_charges_page_reads(self):
+        # Regression: explain.object_vector used to build expanders
+        # without the store, so its page reads were invisible.
+        network, workspace = small_workspace(paged=True)
+        queries = random_locations(network, 2, seed=23)
+        workspace.reset_io(cold=True)
+        object_id = next(iter(workspace.objects)).object_id
+        object_vector(workspace, queries, object_id)
+        assert workspace.network_pages_read() > 0
+
+    def test_network_distance_store_parameter(self):
+        network, workspace = small_workspace(paged=True)
+        a, b = random_locations(network, 2, seed=29)
+        workspace.reset_io(cold=True)
+        without = network_distance(network, a, b)
+        assert workspace.network_pages_read() == 0
+        with_store = network_distance(network, a, b, store=workspace.store)
+        assert workspace.network_pages_read() > 0
+        assert with_store == pytest.approx(without)
+
+    def test_engine_counters_reach_query_stats(self):
+        network, workspace = small_workspace()
+        queries = random_locations(network, 2, seed=31)
+        first = NaiveSkyline().run(workspace, queries).stats
+        # Identical repeat: every distance now comes from the memo.
+        second = NaiveSkyline().run(workspace, queries).stats
+        assert first.distance_backend == "dijkstra"
+        assert second.engine_hits > 0
+        assert second.nodes_settled == 0
+        row = second.as_row()
+        assert row["eng_hits"] == second.engine_hits
+        assert second.engine_hit_ratio == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Regression: explain reuses wavefronts instead of one Dijkstra per pair
+# ----------------------------------------------------------------------
+class TestExplainRegression:
+    def test_object_vector_visits_fewer_nodes_than_per_pair_dijkstra(self):
+        network, workspace = small_workspace()
+        queries = random_locations(network, 3, seed=37)
+        object_ids = sorted(o.object_id for o in workspace.objects)[:8]
+
+        # Seed behaviour: a fresh full-strength Dijkstra per (q, obj).
+        baseline = 0
+        for object_id in object_ids:
+            obj = workspace.objects.get(object_id)
+            for q in queries:
+                expander = DijkstraExpander(network, q)
+                expander.distance_to(obj.location)
+                baseline += expander.nodes_settled
+
+        engine = workspace.engine
+        before = engine.nodes_settled()
+        for object_id in object_ids:
+            object_vector(workspace, queries, object_id)
+        engine_nodes = engine.nodes_settled() - before
+
+        assert engine_nodes < 0.7 * baseline
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence: distances and skylines agree across backends
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_distances_identical_on_grids(self, seed):
+        network = grid_network(5, 6, jitter=0.25, detour=1.3, seed=seed)
+        plain = DistanceEngine(network, backend="dijkstra")
+        guided = DistanceEngine(
+            network, backend="astar+landmarks", landmark_count=4
+        )
+        locations = random_locations(network, 8, seed=seed + 50)
+        for a in locations[:4]:
+            for b in locations[4:]:
+                assert guided.distance(a, b) == pytest.approx(
+                    plain.distance(a, b)
+                )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_skylines_identical_on_grids(self, seed):
+        network = grid_network(5, 5, jitter=0.2, detour=1.4, seed=seed)
+        objects = extract_objects(network, omega=0.6, seed=seed + 1)
+        queries = random_locations(network, 3, seed=seed + 2)
+        results = {}
+        for backend in ("dijkstra", "astar+landmarks"):
+            workspace = Workspace.build(
+                network, objects, paged=False, distance_backend=backend
+            )
+            results[backend] = [
+                algorithm.run(workspace, queries)
+                for algorithm in (CE(), EDC(), LBC())
+            ]
+        for plain, guided in zip(results["dijkstra"], results["astar+landmarks"]):
+            assert plain.same_answer(guided)
+
+
+# ----------------------------------------------------------------------
+# Construction discipline (grep-enforced)
+# ----------------------------------------------------------------------
+class TestConstructionDiscipline:
+    ALLOWED_TOP_LEVEL = {"engine", "network"}
+    PATTERN = re.compile(r"\b(?:DijkstraExpander|AStarExpander)\s*\(")
+
+    def test_no_direct_expander_construction_outside_engine_and_network(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            rel = path.relative_to(src)
+            if rel.parts[0] in self.ALLOWED_TOP_LEVEL:
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if self.PATTERN.search(line):
+                    offenders.append(f"src/repro/{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "raw expander construction outside repro.engine/repro.network "
+            "(route through workspace.engine instead):\n" + "\n".join(offenders)
+        )

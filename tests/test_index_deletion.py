@@ -2,11 +2,10 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import MBR, Point
+from repro.geometry import Point
 from repro.index import BPlusTree, RTree
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.geometry import Point
 from repro.network import (
     InMemoryPlacements,
     MiddleLayer,

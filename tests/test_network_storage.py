@@ -2,13 +2,11 @@
 
 import random
 
-import pytest
 
 from repro.datasets import grid_network
 from repro.network import NetworkStore, clustering_quality, hilbert_index
 from repro.storage import DEFAULT_PAGE_SIZE
 
-from conftest import build_random_network
 
 
 class TestHilbertIndex:

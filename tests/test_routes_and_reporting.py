@@ -12,7 +12,7 @@ from repro.experiments.reporting import (
 from repro.geometry import Point
 from repro.network import RoadNetwork, network_distance, route_to
 
-from conftest import build_random_network, random_locations
+from conftest import random_locations
 
 
 class TestRouteTo:

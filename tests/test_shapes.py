@@ -1,6 +1,5 @@
 """Unit tests for the figure shape-verification predicates."""
 
-import pytest
 
 from repro.experiments.figures import FigureSeries
 from repro.experiments.shapes import (

@@ -1,6 +1,5 @@
 """Tests for the one-shot shortest-path helpers."""
 
-import math
 
 import pytest
 
