@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving layer.
+
+Boots ``repro serve`` as a real subprocess on a generated preset
+network, fires ~50 concurrent HTTP queries (plus a couple of
+mutations), then shuts it down with SIGTERM.  Fails loudly if:
+
+* any response is a 5xx (or a transport error),
+* ``/statsz`` does not parse or lacks the advertised keys,
+* the server does not exit cleanly on SIGTERM.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+CONCURRENT_QUERIES = 50
+STARTUP_TIMEOUT_S = 60
+SHUTDOWN_TIMEOUT_S = 30
+
+
+def generate_dataset(tmpdir: str) -> tuple[str, str]:
+    net_path = os.path.join(tmpdir, "smoke.net")
+    obj_path = os.path.join(tmpdir, "smoke.obj")
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "generate",
+            "--preset", "CA", "--scale", "0.02", "--seed", "7",
+            "--out", net_path, "--objects", obj_path, "--omega", "0.5",
+        ],
+        check=True,
+        env=env_with_src(),
+    )
+    return net_path, obj_path
+
+
+def env_with_src() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def wait_for_url(process: subprocess.Popen) -> str:
+    """Parse the announced URL from the server's first stdout line."""
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited during startup (rc={process.poll()})"
+            )
+        if " on http://" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    else:
+        raise SystemExit(f"no startup line within {STARTUP_TIMEOUT_S}s: {line!r}")
+    # Liveness gate before the load burst.
+    for _ in range(100):
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=5) as r:
+                if r.status == 200:
+                    return url
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.1)
+    raise SystemExit("server never answered /healthz")
+
+
+def node_ids_from(net_path: str) -> list[int]:
+    sys.path.insert(0, os.path.join(os.getcwd(), "src"))
+    from repro.datasets import load_network
+
+    return sorted(load_network(net_path).node_ids())
+
+
+def post_json(url: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    for attempt in range(3):
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+        except (ConnectionError, urllib.error.URLError):
+            # Transient connect-time failure; one retry is generous —
+            # the server keeps a deep accept backlog.
+            if attempt == 2:
+                raise
+            time.sleep(0.2 * (attempt + 1))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        net_path, obj_path = generate_dataset(tmpdir)
+        nodes = node_ids_from(net_path)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                net_path, obj_path, "--port", "0", "--workers", "4",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env_with_src(),
+        )
+        try:
+            url = wait_for_url(process)
+            print(f"smoke: server up at {url}")
+
+            rng = random.Random(2007)
+            failures: list[str] = []
+            statuses: list[int] = []
+            lock = threading.Lock()
+
+            def one_query(i: int) -> None:
+                try:
+                    # A couple of mutations ride along with the storm.
+                    if i % 25 == 7:
+                        status, payload = post_json(
+                            url, "/mutate",
+                            {"op": "remove_object", "object_id": -1},
+                        )  # unknown id → 400, exercises the error path
+                        expected_ok = (400,)
+                    else:
+                        queries = rng.sample(nodes, 3)
+                        status, payload = post_json(
+                            url, "/query",
+                            {"algorithm": "LBC", "query_nodes": queries},
+                        )
+                        expected_ok = (200, 503)  # shedding ≠ failure
+                except Exception as exc:
+                    with lock:
+                        failures.append(f"request {i}: transport error {exc}")
+                    return
+                with lock:
+                    statuses.append(status)
+                    if status >= 500 and status != 503:
+                        failures.append(f"request {i}: {status} {payload}")
+                    elif status not in expected_ok:
+                        failures.append(f"request {i}: {status} {payload}")
+
+            threads = [
+                threading.Thread(target=one_query, args=(i,))
+                for i in range(CONCURRENT_QUERIES)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+
+            if failures:
+                raise SystemExit("smoke failures:\n" + "\n".join(failures))
+            if len(statuses) != CONCURRENT_QUERIES:
+                raise SystemExit(
+                    f"only {len(statuses)}/{CONCURRENT_QUERIES} "
+                    f"requests completed"
+                )
+            ok = sum(1 for s in statuses if s == 200)
+            print(f"smoke: {len(statuses)} requests, {ok} × 200, no 5xx")
+
+            with urllib.request.urlopen(url + "/statsz", timeout=30) as r:
+                stats = json.loads(r.read())
+            for key in ("queue", "requests", "latency_s", "batches", "engine"):
+                if key not in stats:
+                    raise SystemExit(f"/statsz missing {key!r}: {stats}")
+            print(
+                "smoke: statsz ok — completed="
+                f"{stats['requests']['completed']} "
+                f"shed={stats['queue']['shed']} "
+                f"p95={stats['latency_s']['p95_s']}s "
+                f"mean_batch={stats['batches']['mean_batch_size']}"
+            )
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+            try:
+                returncode = process.wait(timeout=SHUTDOWN_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise SystemExit("server ignored SIGTERM")
+        remainder = process.stdout.read()
+        if "shutdown complete" not in remainder:
+            raise SystemExit(
+                f"no clean shutdown message (rc={returncode}): {remainder!r}"
+            )
+        if returncode != 0:
+            raise SystemExit(f"server exited with rc={returncode}")
+        print("smoke: clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Installed as the ``repro`` console script (also runnable as
 * ``query``      — run a multi-source skyline query over network/object
   files, print the answer table, optionally render an SVG;
 * ``route``      — shortest path between two junctions;
+* ``serve``      — long-running concurrent HTTP query server (also
+  installed as the ``repro-serve`` console script);
 * ``experiment`` — regenerate the paper's figures (thin wrapper around
   ``python -m repro.experiments``).
 
@@ -111,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("network")
     route.add_argument("origin", type=int)
     route.add_argument("destination", type=int)
+
+    serve = sub.add_parser(
+        "serve", help="serve skyline queries over HTTP (repro-serve)"
+    )
+    from repro.service.http import add_serve_arguments
+
+    add_serve_arguments(serve)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate the paper's figures"
@@ -257,6 +266,12 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.http import run_serve
+
+    return run_serve(args)
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -279,6 +294,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "query": _cmd_query,
         "route": _cmd_route,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

@@ -13,10 +13,20 @@ or, in unpaged mode, the in-memory equivalents (for unit tests and for
 users who want answers without cost simulation).  Workspaces are built
 once per dataset and reused across many queries — exactly how the
 paper's experiments amortise their setup.
+
+Concurrency: a workspace carries a readers-writer lock
+(:class:`~repro.service.snapshot.ReadWriteLock`).  Query executions
+take the shared side via :meth:`Workspace.reading`; the mutation
+methods below take the exclusive side (via :meth:`Workspace.mutating`),
+coalesce the engine invalidation hooks to fire exactly once per
+compound operation, and bump :attr:`Workspace.version`.  Direct
+single-threaded use is unchanged — the lock is uncontended and the
+mutation methods lock themselves.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 from repro.engine import DEFAULT_BACKEND, DistanceEngine
@@ -50,6 +60,53 @@ class Workspace:
             self.engine = DistanceEngine(
                 self.network, store=self.store, placements=self.middle
             )
+        # Imported here, not at module level: repro.service sits above
+        # repro.core, and snapshot.py is its one dependency-free module.
+        from repro.service.snapshot import ReadWriteLock
+
+        self._rwlock = ReadWriteLock()
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumped once per mutating() block."""
+        return self._version
+
+    @property
+    def rwlock(self):
+        """The workspace's readers-writer lock (shared with the service)."""
+        return self._rwlock
+
+    @contextmanager
+    def reading(self):
+        """Shared-side context: queries executed inside never see a
+        torn mutation (the writer waits for the block to finish)."""
+        with self._rwlock.read_locked():
+            yield self
+
+    @contextmanager
+    def mutating(self):
+        """Exclusive-side context for (compound) mutations.
+
+        Waits out in-flight readers, coalesces the engine invalidation
+        hooks so the whole block drives them exactly once, and bumps
+        :attr:`version` once on the outermost exit.  Reentrant: the
+        mutation methods below use it themselves, so nesting
+        (``move_object`` → remove + add) still invalidates once.  Do
+        not call while inside :meth:`reading` — lock upgrades deadlock.
+        """
+        outermost = self._rwlock.caller_write_depth == 0
+        with self._rwlock.write_locked():
+            if self.engine is not None:
+                with self.engine.coalesced_invalidation():
+                    yield self
+            else:
+                yield self
+            if outermost:
+                self._version += 1
 
     @classmethod
     def build(
@@ -163,32 +220,36 @@ class Workspace:
         object R-tree in one step, and invalidates the distance
         engine's caches; subsequent queries see the object.
         """
-        self.objects.add(obj)
-        self.middle.add_object(obj)
-        self.object_rtree.insert_point(obj.point, obj)
-        if self.engine is not None:
-            self.engine.invalidate()
+        with self.mutating():
+            self.objects.add(obj)
+            self.middle.add_object(obj)
+            self.object_rtree.insert_point(obj.point, obj)
+            if self.engine is not None:
+                self.engine.invalidate()
 
     def remove_object(self, object_id: int) -> None:
         """Remove one object everywhere (KeyError when absent)."""
-        obj = self.objects.remove(object_id)
-        self.middle.remove_object(obj)
-        self.object_rtree.delete_point(obj.point, obj)
-        if self.engine is not None:
-            self.engine.invalidate()
+        with self.mutating():
+            obj = self.objects.remove(object_id)
+            self.middle.remove_object(obj)
+            self.object_rtree.delete_point(obj.point, obj)
+            if self.engine is not None:
+                self.engine.invalidate()
 
     def move_object(self, object_id: int, location: NetworkLocation) -> SpatialObject:
         """Relocate one object, keeping attributes and every index.
 
         Implemented as remove + re-add so the middle layer, the R-tree
-        and the engine caches all observe the move.  Returns the moved
-        object.
+        and the engine caches all observe the move; the ``mutating()``
+        wrapper coalesces the two invalidations into one.  Returns the
+        moved object.
         """
-        obj = self.objects.get(object_id)
-        self.remove_object(object_id)
-        moved = replace(obj, location=location)
-        self.add_object(moved)
-        return moved
+        with self.mutating():
+            obj = self.objects.get(object_id)
+            self.remove_object(object_id)
+            moved = replace(obj, location=location)
+            self.add_object(moved)
+            return moved
 
     # ------------------------------------------------------------------
     # Network mutation
@@ -203,31 +264,34 @@ class Workspace:
         precomputation such as landmark tables — are invalidated, since
         every previously settled distance may have changed.
         """
-        self.network.edge(edge_id)  # KeyError for foreign edges
-        affected = [p.obj for p in self.middle.objects_on(edge_id)]
-        for obj in affected:
-            loc = obj.location
-            if loc.edge_id == edge_id and loc.offset > length + 1e-9:
-                raise ValueError(
-                    f"object {obj.object_id} at offset {loc.offset} does not "
-                    f"fit the new length {length} of edge {edge_id}"
-                )
-        # Run the network's own checks (chord rule, polyline, positivity)
-        # before touching any object state: a rejection must leave the
-        # workspace untouched, not with `affected` already deregistered.
-        self.network.validate_edge_length(edge_id, length)
-        for obj in affected:
-            self.remove_object(obj.object_id)
-        self.network.update_edge_length(edge_id, length)
-        for obj in affected:
-            loc = obj.location
-            if loc.edge_id == edge_id:
-                obj = replace(
-                    obj, location=self.network.location_on_edge(edge_id, loc.offset)
-                )
-            self.add_object(obj)
-        if self.engine is not None:
-            self.engine.invalidate_network()
+        with self.mutating():
+            self.network.edge(edge_id)  # KeyError for foreign edges
+            affected = [p.obj for p in self.middle.objects_on(edge_id)]
+            for obj in affected:
+                loc = obj.location
+                if loc.edge_id == edge_id and loc.offset > length + 1e-9:
+                    raise ValueError(
+                        f"object {obj.object_id} at offset {loc.offset} does not "
+                        f"fit the new length {length} of edge {edge_id}"
+                    )
+            # Run the network's own checks (chord rule, polyline,
+            # positivity) before touching any object state: a rejection
+            # must leave the workspace untouched, not with `affected`
+            # already deregistered.
+            self.network.validate_edge_length(edge_id, length)
+            for obj in affected:
+                self.remove_object(obj.object_id)
+            self.network.update_edge_length(edge_id, length)
+            for obj in affected:
+                loc = obj.location
+                if loc.edge_id == edge_id:
+                    obj = replace(
+                        obj,
+                        location=self.network.location_on_edge(edge_id, loc.offset),
+                    )
+                self.add_object(obj)
+            if self.engine is not None:
+                self.engine.invalidate_network()
 
     # ------------------------------------------------------------------
     # Query-point helpers

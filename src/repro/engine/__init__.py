@@ -25,6 +25,7 @@ from repro.engine.engine import (
     DEFAULT_POOL_CAPACITY,
     DistanceEngine,
     EngineCounters,
+    location_key,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "DistanceMemo",
     "EngineCounters",
     "MemoCounters",
+    "location_key",
 ]

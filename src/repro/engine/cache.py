@@ -11,10 +11,18 @@ The memo is deliberately dumb about invalidation: it only knows how to
 drop everything.  The :class:`~repro.engine.engine.DistanceEngine`
 decides *when* (object churn, edge-weight mutation), because only it
 sees those events.
+
+The memo is **thread-safe**: every structural operation (lookup with
+its move-to-end, insert with its evictions, clear) runs under one
+internal lock, so concurrent workers sharing an engine can never
+corrupt the LRU order or lose counter updates.  Values are plain
+floats, so the worst a racing pair of writers can do is insert the
+same exact distance twice — which the lock prevents anyway.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -41,23 +49,27 @@ class DistanceMemo:
             raise ValueError(f"memo capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[MemoKey, float] = OrderedDict()
+        self._lock = threading.Lock()
         self.counters = MemoCounters()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: MemoKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: MemoKey) -> float | None:
         """The cached distance, refreshing recency; None on a miss."""
-        value = self._entries.get(key)
-        if value is None:
-            self.counters.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.counters.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.counters.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.counters.hits += 1
+            return value
 
     def put(self, key: MemoKey, value: float) -> None:
         """Insert (or refresh) one settled distance, evicting LRU entries.
@@ -66,14 +78,16 @@ class DistanceMemo:
         so opportunistic recording (e.g. CE emissions) does not distort
         the hit ratio.
         """
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.counters.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.evictions += 1
 
     def clear(self, count_invalidation: bool = True) -> None:
         """Drop every entry (a mutation made them unsafe)."""
-        if self._entries and count_invalidation:
-            self.counters.invalidations += 1
-        self._entries.clear()
+        with self._lock:
+            if self._entries and count_invalidation:
+                self.counters.invalidations += 1
+            self._entries.clear()

@@ -26,11 +26,36 @@ Construction discipline: outside :mod:`repro.engine` and
 :class:`~repro.network.dijkstra.DijkstraExpander` or
 :class:`~repro.network.astar.AStarExpander` directly — a grep-enforced
 test (``tests/test_engine.py``) keeps it that way.
+
+Concurrency contract
+--------------------
+The engine's *bookkeeping* is thread-safe: the distance memo and the
+expander pool are guarded by locks, so concurrent threads can look up
+and record distances, check expanders out of the pool, and trigger
+invalidations without corrupting the LRU structures or losing counter
+updates.  What is **not** safe is two threads *driving the same
+expander object* at the same time — a resumable wavefront is one
+priority queue and one settled map, and interleaved ``distance_to``
+calls on it would interleave two searches.  Callers that share an
+engine across threads must therefore partition work so that no two
+concurrently-executing queries share a source location (pool keys are
+per-source).  The serving layer (:mod:`repro.service`) enforces
+exactly that: its batch scheduler never lets two in-flight batches
+overlap in query points, and workspace mutations run behind a
+writer-exclusive lock (see :meth:`Workspace.mutating
+<repro.core.query.Workspace.mutating>`), so invalidation never races a
+live wavefront.  Single-threaded use is unaffected.
+
+Per-query counter *deltas* (``nodes_settled``, memo hit/miss) are only
+meaningful when one query runs at a time; under concurrency they
+describe the engine as a whole, which is what ``/statsz`` reports.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -68,11 +93,19 @@ class EngineCounters:
     pool_evictions: int = 0
 
 
-def _location_key(location: NetworkLocation) -> tuple:
-    """A hashable, purely numeric identity for a network location."""
+def location_key(location: NetworkLocation) -> tuple:
+    """A hashable, purely numeric identity for a network location.
+
+    Public because the serving layer batches and partitions requests by
+    the same identity the pool is keyed on.
+    """
     if location.node_id is not None:
         return (0, location.node_id, 0.0)
     return (1, location.edge_id, location.offset)
+
+
+# Internal alias kept for the pool/memo key helpers below.
+_location_key = location_key
 
 
 def _pair_key(a: NetworkLocation, b: NetworkLocation) -> tuple:
@@ -117,23 +150,30 @@ class DistanceEngine:
         self._retired_nodes = 0
         self._pool_reuses = 0
         self._pool_evictions = 0
+        # Guards the pool's OrderedDict, the backend registry and the
+        # invalidation-coalescing state; reentrant because invalidation
+        # paths nest (see the module docstring's concurrency contract).
+        self._lock = threading.RLock()
+        self._invalidation_depth = 0
+        self._pending_invalidation = 0  # 0 none, 1 objects, 2 network
 
     # ------------------------------------------------------------------
     # Backends
     # ------------------------------------------------------------------
     def _backend(self, name: str | None = None) -> DistanceBackend:
         name = name or self.backend_name
-        backend = self._backends.get(name)
-        if backend is None:
-            backend = make_backend(
-                name,
-                self.network,
-                store=self.store,
-                landmark_count=self.landmark_count,
-                landmark_seed=self.landmark_seed,
-            )
-            self._backends[name] = backend
-        return backend
+        with self._lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                backend = make_backend(
+                    name,
+                    self.network,
+                    store=self.store,
+                    landmark_count=self.landmark_count,
+                    landmark_seed=self.landmark_seed,
+                )
+                self._backends[name] = backend
+            return backend
 
     def _astar_backend_name(self) -> str:
         """The A*-family backend matching the engine's configuration.
@@ -151,18 +191,19 @@ class DistanceEngine:
     # Expander pool
     # ------------------------------------------------------------------
     def _checkout(self, key: tuple, factory):
-        expander = self._pool.get(key)
-        if expander is not None:
-            self._pool.move_to_end(key)
-            self._pool_reuses += 1
+        with self._lock:
+            expander = self._pool.get(key)
+            if expander is not None:
+                self._pool.move_to_end(key)
+                self._pool_reuses += 1
+                return expander
+            expander = factory()
+            self._pool[key] = expander
+            while len(self._pool) > self.pool_capacity:
+                _, evicted = self._pool.popitem(last=False)
+                self._retired_nodes += evicted.nodes_settled
+                self._pool_evictions += 1
             return expander
-        expander = factory()
-        self._pool[key] = expander
-        while len(self._pool) > self.pool_capacity:
-            _, evicted = self._pool.popitem(last=False)
-            self._retired_nodes += evicted.nodes_settled
-            self._pool_evictions += 1
-        return expander
 
     def expander(self, source: NetworkLocation, backend: str | None = None):
         """A pooled resumable expander for ``source`` (backend default).
@@ -338,17 +379,20 @@ class DistanceEngine:
         Includes wavefronts already evicted from the pool; algorithms
         report per-run work as the delta around their execution.
         """
-        live = sum(e.nodes_settled for e in self._pool.values())
-        return self._retired_nodes + live
+        with self._lock:
+            live = sum(e.nodes_settled for e in self._pool.values())
+            return self._retired_nodes + live
 
     def cache_info(self) -> dict[str, int | str]:
         """A flat summary for CLI output and debugging."""
         c = self.counters
+        with self._lock:
+            pool_entries = len(self._pool)
         return {
             "backend": self.backend_name,
             "memo_entries": len(self._memo),
             "memo_capacity": self._memo.capacity,
-            "pool_entries": len(self._pool),
+            "pool_entries": pool_entries,
             "pool_capacity": self.pool_capacity,
             "hits": c.hits,
             "misses": c.misses,
@@ -362,9 +406,48 @@ class DistanceEngine:
     # Invalidation
     # ------------------------------------------------------------------
     def _retire_pool(self) -> None:
-        for expander in self._pool.values():
-            self._retired_nodes += expander.nodes_settled
-        self._pool.clear()
+        with self._lock:
+            for expander in self._pool.values():
+                self._retired_nodes += expander.nodes_settled
+            self._pool.clear()
+
+    @contextmanager
+    def coalesced_invalidation(self):
+        """Defer invalidations inside the block, applying one at the end.
+
+        Compound workspace mutations (``move_object`` = remove + add;
+        ``update_edge_length`` re-registers every affected object) call
+        the invalidation hooks once per step.  Wrapping the compound
+        operation in this context collapses them into a single drop of
+        the strongest requested kind — object-level unless any step
+        asked for a network-level invalidation.  Nestable; only the
+        outermost exit applies.
+        """
+        with self._lock:
+            self._invalidation_depth += 1
+        try:
+            yield
+        finally:
+            pending = 0
+            with self._lock:
+                self._invalidation_depth -= 1
+                if self._invalidation_depth == 0:
+                    pending = self._pending_invalidation
+                    self._pending_invalidation = 0
+            if pending == 2:
+                self.invalidate_network()
+            elif pending == 1:
+                self.invalidate()
+
+    def _defer_invalidation(self, level: int) -> bool:
+        """Record a pending invalidation if inside a coalescing block."""
+        with self._lock:
+            if self._invalidation_depth > 0:
+                self._pending_invalidation = max(
+                    self._pending_invalidation, level
+                )
+                return True
+        return False
 
     def invalidate(self) -> None:
         """Drop cached distances and wavefronts (object churn).
@@ -374,6 +457,8 @@ class DistanceEngine:
         to *object locations* may now describe stale objects; dropping
         everything is cheap and simple.
         """
+        if self._defer_invalidation(1):
+            return
         self._memo.clear()
         self._retire_pool()
 
@@ -383,8 +468,13 @@ class DistanceEngine:
         Beyond :meth:`invalidate`, backend precomputation (landmark
         tables) is reset — it encodes distances of the old graph.
         """
-        self.invalidate()
-        for backend in self._backends.values():
+        if self._defer_invalidation(2):
+            return
+        self._memo.clear()
+        self._retire_pool()
+        with self._lock:
+            backends = list(self._backends.values())
+        for backend in backends:
             backend.reset()
 
     def clear(self) -> None:

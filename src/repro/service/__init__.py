@@ -1,0 +1,71 @@
+"""repro.service — the concurrent query-serving subsystem.
+
+Turns the single-query library into a long-running server:
+
+* :class:`QueryService` — bounded queue, worker pool, per-request
+  deadlines, load-shedding admission control;
+* :class:`~repro.service.batching.BatchPlanner` — groups in-flight
+  requests by shared query points so co-located requests reuse
+  engine wavefronts across requests, not just within one;
+* :class:`~repro.service.snapshot.ReadWriteLock` — snapshot isolation
+  between queries (shared side) and mutations (exclusive side);
+* :class:`~repro.service.http.ServiceHTTPServer` — stdlib JSON
+  endpoint with ``/healthz`` and ``/statsz`` (the ``repro-serve``
+  entry point).
+
+See the "Serving layer" section of ``docs/architecture.md`` for the
+request lifecycle (admit → snapshot → batch → execute → respond).
+"""
+
+from repro.service.batching import (
+    BatchPlan,
+    BatchPlanner,
+    ExecutionUnit,
+    ServiceRequest,
+    execute_plan,
+)
+from repro.service.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.service.http import ServiceHTTPServer, run_serve
+from repro.service.metrics import LatencyRecorder
+from repro.service.service import (
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TIMEOUT_S,
+    DEFAULT_WORKERS,
+    SERVICE_ALGORITHMS,
+    PendingQuery,
+    QueryService,
+)
+from repro.service.snapshot import ReadWriteLock
+
+__all__ = [
+    "BadRequest",
+    "BatchPlan",
+    "BatchPlanner",
+    "DEFAULT_BATCH_WINDOW_S",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_TIMEOUT_S",
+    "DEFAULT_WORKERS",
+    "DeadlineExceeded",
+    "ExecutionUnit",
+    "LatencyRecorder",
+    "Overloaded",
+    "PendingQuery",
+    "QueryService",
+    "ReadWriteLock",
+    "SERVICE_ALGORITHMS",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceRequest",
+    "execute_plan",
+    "run_serve",
+]

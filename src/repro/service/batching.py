@@ -1,0 +1,216 @@
+"""Grouping in-flight queries so co-located requests share wavefronts.
+
+The engine already reuses expansion state *within* one query (pooled
+per-source wavefronts, the cross-query memo).  The
+:class:`BatchPlanner` extends that reuse *across* requests, the
+ParetoPrep observation applied to serving: requests whose query points
+overlap are placed in the same :class:`BatchPlan` and executed
+back-to-back on the shared engine, source-major, so the second request
+resumes the first request's wavefronts instead of rebuilding them.
+
+Within a batch three mechanisms stack:
+
+1. **Dedupe** — requests with the same algorithm and the same *set* of
+   query points collapse into one :class:`ExecutionUnit`; followers
+   whose query order differs get their answer re-vectorised through
+   :meth:`DistanceEngine.vectors` (pure memo hits — the skyline is
+   invariant under dimension permutation).
+2. **Warm phase** — when several units share sources, the planner runs
+   :meth:`DistanceEngine.matrix` over the shared sources first, which
+   establishes one pooled wavefront per shared source before any unit
+   runs (cheap for co-located points: the wavefronts only need to span
+   the shared neighbourhood).
+3. **Source-major ordering** — units are ordered so consecutive units
+   overlap maximally, keeping shared wavefronts at the hot end of the
+   engine's LRU pool.
+
+Batches also double as the service's *conflict-isolation* domain: the
+scheduler never runs two batches with overlapping query points
+concurrently (see ``QueryService``), which is what makes sharing
+pooled expanders across threads safe — see the concurrency contract
+in :mod:`repro.engine.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+
+from repro.core.result import SkylinePoint, SkylineResult
+from repro.engine import location_key
+from repro.network.graph import NetworkLocation
+
+
+@dataclass
+class ServiceRequest:
+    """One client query as the service tracks it."""
+
+    request_id: int
+    algorithm: str
+    queries: list[NetworkLocation]
+    deadline: float | None = None  # time.monotonic() deadline, None = none
+    enqueued_at: float = 0.0  # time.monotonic() at admission
+
+    def key_set(self) -> frozenset:
+        """The request's query points as pool-identity keys."""
+        return frozenset(location_key(q) for q in self.queries)
+
+
+@dataclass
+class ExecutionUnit:
+    """One algorithm run serving one or more identical requests."""
+
+    canonical: ServiceRequest
+    followers: list[ServiceRequest] = field(default_factory=list)
+
+    @property
+    def requests(self) -> list[ServiceRequest]:
+        return [self.canonical, *self.followers]
+
+
+@dataclass
+class BatchPlan:
+    """A set of executions that share (or may share) wavefronts."""
+
+    units: list[ExecutionUnit]
+
+    def key_union(self) -> frozenset:
+        """Every query-point key the batch touches (conflict domain)."""
+        keys: set = set()
+        for unit in self.units:
+            keys |= unit.canonical.key_set()
+        return frozenset(keys)
+
+    def shared_sources(self) -> list[NetworkLocation]:
+        """Query points appearing in two or more units (warm targets)."""
+        first: dict[tuple, NetworkLocation] = {}
+        unit_counts: dict[tuple, int] = {}
+        for unit in self.units:
+            for q in unit.canonical.queries:
+                first.setdefault(location_key(q), q)
+            # Count per unit, not per occurrence inside one request.
+            for key in unit.canonical.key_set():
+                unit_counts[key] = unit_counts.get(key, 0) + 1
+        return [
+            first[key] for key, n in sorted(unit_counts.items()) if n >= 2
+        ]
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(unit.requests) for unit in self.units)
+
+
+class BatchPlanner:
+    """Turns a drained slice of the queue into conflict-free batches."""
+
+    def plan(self, requests: list[ServiceRequest]) -> list[BatchPlan]:
+        """Group requests into batches of overlapping query points.
+
+        Requests whose key sets are connected (transitively, through
+        shared query points) land in the same batch; within a batch,
+        identical (algorithm, key-set) requests collapse into one
+        execution unit and units are ordered source-major.
+        """
+        if not requests:
+            return []
+        # Union-find over requests, merging on shared query-point keys.
+        parent = list(range(len(requests)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        owner_of_key: dict[tuple, int] = {}
+        for i, request in enumerate(requests):
+            for key in request.key_set():
+                if key in owner_of_key:
+                    a, b = find(i), find(owner_of_key[key])
+                    if a != b:
+                        parent[a] = b
+                else:
+                    owner_of_key[key] = i
+
+        groups: dict[int, list[ServiceRequest]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(find(i), []).append(request)
+
+        plans = []
+        for _, members in sorted(groups.items()):
+            plans.append(BatchPlan(units=self._units_for(members)))
+        return plans
+
+    @staticmethod
+    def _units_for(members: list[ServiceRequest]) -> list[ExecutionUnit]:
+        units: dict[tuple, ExecutionUnit] = {}
+        for request in members:
+            signature = (request.algorithm, request.key_set())
+            unit = units.get(signature)
+            if unit is None:
+                units[signature] = ExecutionUnit(canonical=request)
+            else:
+                unit.followers.append(request)
+        # Source-major order: sorting by the sorted key tuple clusters
+        # overlapping sets, so consecutive units re-hit hot wavefronts.
+        return sorted(
+            units.values(),
+            key=lambda u: tuple(sorted(u.canonical.key_set())),
+        )
+
+
+def execute_plan(workspace, plan: BatchPlan, algorithms) -> dict:
+    """Run one batch under a read snapshot; results per request id.
+
+    ``algorithms`` maps algorithm name to a zero-argument factory (the
+    class itself works).  Returns ``{request_id: SkylineResult |
+    Exception}`` — a unit whose execution raises fails only its own
+    requests, not the whole batch.
+    """
+    outcomes: dict[int, object] = {}
+    with workspace.reading():
+        engine = workspace.engine
+        shared = plan.shared_sources()
+        if engine is not None and len(plan.units) > 1 and len(shared) > 1:
+            # Warm phase: one pooled wavefront per shared source,
+            # expanded just far enough to reach its co-located peers.
+            engine.matrix(shared, shared)
+        for unit in plan.units:
+            request = unit.canonical
+            try:
+                algorithm = algorithms[request.algorithm]()
+                result = algorithm.run(workspace, list(request.queries))
+            except Exception as exc:  # typed per-unit failure
+                for member in unit.requests:
+                    outcomes[member.request_id] = exc
+                continue
+            outcomes[request.request_id] = result
+            for follower in unit.followers:
+                outcomes[follower.request_id] = _reorder_result(
+                    workspace, result, follower
+                )
+    return outcomes
+
+
+def _reorder_result(
+    workspace, result: SkylineResult, follower: ServiceRequest
+) -> SkylineResult:
+    """A follower's view of a deduped result, in its own query order.
+
+    The skyline *set* is order-invariant; only the distance columns of
+    each vector permute.  Vectors are refetched through the engine's
+    batch API — every distance was settled by the canonical run, so
+    this is memo hits, not new expansion.
+    """
+    engine = workspace.engine
+    objects = [p.obj for p in result.points]
+    if engine is None or not objects:
+        return SkylineResult(points=list(result.points), stats=result.stats)
+    vectors = engine.vectors(follower.queries, objects)
+    points = [
+        SkylinePoint(obj=obj, vector=vector)
+        for obj, vector in zip(objects, vectors)
+    ]
+    stats = dc_replace(result.stats)
+    stats.extras = dict(result.stats.extras)
+    stats.extras["deduped"] = stats.extras.get("deduped", 0.0) + 1.0
+    return SkylineResult(points=points, stats=stats)

@@ -1,0 +1,54 @@
+"""Typed failures of the serving layer.
+
+Every rejection the :class:`~repro.service.service.QueryService` can
+hand a client is a distinct exception type, so callers (and the HTTP
+layer) dispatch on type instead of parsing messages:
+
+* :class:`Overloaded`       — admission control shed the request
+  (bounded queue full); retry later.  Maps to HTTP 503.
+* :class:`DeadlineExceeded` — the request's deadline passed before a
+  worker could finish it.  Maps to HTTP 504.
+* :class:`BadRequest`       — malformed request (unknown algorithm,
+  empty or foreign query points).  Maps to HTTP 400.
+* :class:`ServiceClosed`    — the service is shutting down.  Maps to
+  HTTP 503 (without retry hints).
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for all serving-layer failures."""
+
+
+class BadRequest(ServiceError):
+    """The request itself is invalid; retrying it verbatim cannot help."""
+
+
+class Overloaded(ServiceError):
+    """Admission control rejected the request to keep the queue bounded.
+
+    Carries the observed depth and the configured limit so clients and
+    the HTTP layer can surface meaningful back-pressure (Retry-After).
+    """
+
+    def __init__(self, queue_depth: int, queue_limit: int,
+                 retry_after_s: float = 0.1) -> None:
+        super().__init__(
+            f"request queue full ({queue_depth}/{queue_limit}); shed"
+        )
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request deadline passed before the answer was produced."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"deadline of {timeout_s:.3f}s exceeded")
+        self.timeout_s = timeout_s
+
+
+class ServiceClosed(ServiceError):
+    """The service has been closed; no further requests are accepted."""

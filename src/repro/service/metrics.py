@@ -1,0 +1,68 @@
+"""Serving-side metrics: latency percentiles over a sliding window.
+
+``/statsz`` reports p50/p95/p99 request latency.  Exact percentiles
+over an unbounded history would grow without limit, so the recorder
+keeps a fixed-size window of the most recent samples (plus lifetime
+count/sum); under steady load that is the standard "recent latency"
+view load balancers alarm on.  Thread-safe — workers record
+completions concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+DEFAULT_WINDOW = 2048
+
+
+class LatencyRecorder:
+    """Sliding-window latency samples with nearest-rank percentiles."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, latency_s: float) -> None:
+        with self._lock:
+            self._samples.append(latency_s)
+            self._count += 1
+            self._total += latency_s
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of recorded samples."""
+        with self._lock:
+            return self._count
+
+    def mean(self) -> float:
+        """Lifetime mean latency (0.0 before the first sample)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return self._total / self._count
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the window (0.0 when empty)."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        """The flat block ``/statsz`` embeds."""
+        return {
+            "count": self.count,
+            "mean_s": round(self.mean(), 6),
+            "p50_s": round(self.percentile(50), 6),
+            "p95_s": round(self.percentile(95), 6),
+            "p99_s": round(self.percentile(99), 6),
+        }

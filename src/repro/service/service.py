@@ -1,0 +1,401 @@
+"""The concurrent query-serving front door.
+
+A :class:`QueryService` turns one :class:`~repro.core.query.Workspace`
+into a long-running server:
+
+* **Admission control** — a bounded request queue.  When it is full,
+  :meth:`submit` raises :class:`~repro.service.errors.Overloaded`
+  immediately instead of queuing unboundedly; the shed is counted and
+  surfaced in ``/statsz``.  Bounded queues are what keep tail latency
+  finite under overload.
+* **A worker pool** — N threads drain the queue.  Each worker takes
+  one request, lingers for ``batch_window_s`` so co-arriving requests
+  can join (group commit), then plans the drained slice with the
+  :class:`~repro.service.batching.BatchPlanner`.
+* **Batching with conflict isolation** — batches sharing query points
+  with an in-flight batch wait their turn (the engine's pooled
+  wavefronts are single-driver; see the concurrency contract in
+  :mod:`repro.engine.engine`); disjoint batches run in parallel under
+  the workspace's shared read lock.
+* **Deadlines** — every request carries one (default
+  ``default_timeout_s``); expired requests fail with
+  :class:`~repro.service.errors.DeadlineExceeded` instead of occupying
+  a worker.
+* **Snapshot-isolated mutations** — :meth:`update_edge_length`,
+  :meth:`add_object`, :meth:`remove_object` take the workspace's write
+  lock, so they wait for in-flight queries, apply atomically, and
+  invalidate the engine exactly once.
+
+The service is transport-agnostic; :mod:`repro.service.http` puts a
+JSON endpoint in front of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Mapping
+
+from repro.core import ALL_ALGORITHMS, NaiveSkyline, Workspace
+from repro.core.result import SkylineResult
+from repro.network.graph import NetworkLocation
+from repro.service.batching import BatchPlanner, ServiceRequest, execute_plan
+from repro.service.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosed,
+)
+from repro.service.metrics import LatencyRecorder
+
+SERVICE_ALGORITHMS: Mapping[str, type] = {
+    cls.name: cls for cls in (*ALL_ALGORITHMS, NaiveSkyline)
+}
+
+DEFAULT_WORKERS = 4
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_MAX_BATCH = 8
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+
+class PendingQuery:
+    """A submitted request's future answer."""
+
+    def __init__(self, request: ServiceRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._result: SkylineResult | None = None
+        self._error: BaseException | None = None
+
+    def _fulfill(self, outcome) -> None:
+        if isinstance(outcome, BaseException):
+            self._error = outcome
+        else:
+            self._result = outcome
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SkylineResult:
+        """Block until the answer (or typed failure) arrives."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} still pending"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class QueryService:
+    """Concurrent skyline-query serving over one workspace."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_timeout_s: float | None = DEFAULT_TIMEOUT_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        algorithms: Mapping[str, type] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {queue_limit}")
+        if max_batch < 1:
+            raise ValueError(f"max batch must be >= 1, got {max_batch}")
+        self.workspace = workspace
+        self.queue_limit = queue_limit
+        self.default_timeout_s = default_timeout_s
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.algorithms = dict(algorithms or SERVICE_ALGORITHMS)
+
+        self._planner = BatchPlanner()
+        self._cond = threading.Condition()
+        self._queue: deque[PendingQuery] = deque()
+        self._active_keys: set = set()
+        self._paused = False
+        self._closed = False
+        self._ids = itertools.count(1)
+
+        # Counters (guarded by _cond's lock).
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._timed_out = 0
+        self._shed = 0
+        self._deduped = 0
+        self._mutations = 0
+        self._batches = 0
+        self._batched_requests = 0
+
+        self.latency = LatencyRecorder()
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        algorithm: str,
+        queries: list[NetworkLocation],
+        timeout_s: float | None = None,
+    ) -> PendingQuery:
+        """Admit one request, or raise a typed rejection immediately."""
+        if algorithm not in self.algorithms:
+            raise BadRequest(
+                f"unknown algorithm {algorithm!r}; "
+                f"choose from {sorted(self.algorithms)}"
+            )
+        if not queries:
+            raise BadRequest("a skyline query needs at least one query point")
+        timeout_s = self.default_timeout_s if timeout_s is None else timeout_s
+        now = time.monotonic()
+        request = ServiceRequest(
+            request_id=next(self._ids),
+            algorithm=algorithm,
+            queries=list(queries),
+            deadline=None if timeout_s is None else now + timeout_s,
+            enqueued_at=now,
+        )
+        pending = PendingQuery(request)
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            if len(self._queue) >= self.queue_limit:
+                self._shed += 1
+                raise Overloaded(len(self._queue), self.queue_limit)
+            self._queue.append(pending)
+            self._submitted += 1
+            self._cond.notify()
+        return pending
+
+    def query(
+        self,
+        algorithm: str,
+        queries: list[NetworkLocation],
+        timeout_s: float | None = None,
+    ) -> SkylineResult:
+        """Submit and block for the answer (closed-loop clients)."""
+        pending = self.submit(algorithm, queries, timeout_s=timeout_s)
+        # The worker enforces the deadline; the extra margin here only
+        # guards against a wedged service.
+        wait = None
+        if pending.request.deadline is not None:
+            wait = max(0.0, pending.request.deadline - time.monotonic()) + 30.0
+        return pending.result(timeout=wait)
+
+    # ------------------------------------------------------------------
+    # Mutations (snapshot-isolated writers)
+    # ------------------------------------------------------------------
+    def mutate(self, fn: Callable[[Workspace], object]):
+        """Run an arbitrary mutation under the workspace's write lock."""
+        with self.workspace.mutating() as ws:
+            outcome = fn(ws)
+        with self._cond:
+            self._mutations += 1
+        return outcome
+
+    def update_edge_length(self, edge_id: int, length: float) -> None:
+        self.mutate(lambda ws: ws.update_edge_length(edge_id, length))
+
+    def add_object(self, obj) -> None:
+        self.mutate(lambda ws: ws.add_object(obj))
+
+    def remove_object(self, object_id: int) -> None:
+        self.mutate(lambda ws: ws.remove_object(object_id))
+
+    # ------------------------------------------------------------------
+    # Worker machinery
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while (not self._queue or self._paused) and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+                batch = [self._queue.popleft()]
+            if self.batch_window_s > 0.0 and self.max_batch > 1:
+                # Group commit: give co-arriving requests one short
+                # window to join this batch.
+                time.sleep(self.batch_window_s)
+            with self._cond:
+                while self._queue and len(batch) < self.max_batch:
+                    batch.append(self._queue.popleft())
+            self._process(batch)
+
+    def _process(self, batch: list[PendingQuery]) -> None:
+        now = time.monotonic()
+        live: list[PendingQuery] = []
+        for pending in batch:
+            deadline = pending.request.deadline
+            if deadline is not None and now > deadline:
+                self._finish(
+                    pending,
+                    DeadlineExceeded(deadline - pending.request.enqueued_at),
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        by_id = {p.request.request_id: p for p in live}
+        plans = self._planner.plan([p.request for p in live])
+        for plan in plans:
+            keys = plan.key_union()
+            self._acquire_keys(keys)
+            try:
+                outcomes = execute_plan(self.workspace, plan, self.algorithms)
+            except BaseException as exc:
+                # Planner/lock failures fail the whole plan, typed.
+                outcomes = {
+                    rid: exc
+                    for unit in plan.units
+                    for rid in (r.request_id for r in unit.requests)
+                }
+            finally:
+                self._release_keys(keys)
+            with self._cond:
+                self._batches += 1
+                self._batched_requests += plan.request_count
+                self._deduped += plan.request_count - len(plan.units)
+            for request_id, outcome in outcomes.items():
+                self._finish(by_id[request_id], outcome)
+
+    def _finish(self, pending: PendingQuery, outcome) -> None:
+        with self._cond:
+            if isinstance(outcome, DeadlineExceeded):
+                self._timed_out += 1
+            elif isinstance(outcome, BaseException):
+                self._failed += 1
+            else:
+                self._completed += 1
+        if not isinstance(outcome, BaseException):
+            self.latency.record(
+                time.monotonic() - pending.request.enqueued_at
+            )
+        pending._fulfill(outcome)
+
+    def _acquire_keys(self, keys: frozenset) -> None:
+        with self._cond:
+            while keys & self._active_keys:
+                self._cond.wait()
+            self._active_keys |= keys
+
+    def _release_keys(self, keys: frozenset) -> None:
+        with self._cond:
+            self._active_keys -= keys
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop dequeuing (submissions still admitted); for tests/ops."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Drain queued requests, stop the workers, reject stragglers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._paused = False
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+        # Anything still queued after the drain window is rejected.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for pending in leftovers:
+            self._finish(pending, ServiceClosed("service is shut down"))
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """The ``/statsz`` payload: queue, latency, batch and cache state."""
+        with self._cond:
+            queue_block = {
+                "depth": len(self._queue),
+                "limit": self.queue_limit,
+                "shed": self._shed,
+                "active_keys": len(self._active_keys),
+                "paused": self._paused,
+            }
+            requests_block = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "timed_out": self._timed_out,
+                "deduped": self._deduped,
+                "mutations": self._mutations,
+            }
+            batches = self._batches
+            batched_requests = self._batched_requests
+        batch_block = {
+            "executed": batches,
+            "requests_batched": batched_requests,
+            "mean_batch_size": (
+                round(batched_requests / batches, 3) if batches else 0.0
+            ),
+        }
+        ws = self.workspace
+        buffers = {"network_physical_reads": ws.network_pages_read(),
+                   "index_physical_reads": ws.index_pages_read(),
+                   "middle_physical_reads": ws.middle_pages_read()}
+        if ws.store is not None:
+            buffers["network_logical_reads"] = ws.store.stats.logical_reads
+            buffers["network_hit_ratio"] = round(ws.store.stats.hit_ratio, 4)
+        return {
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "started_unix": round(self._started_wall, 3),
+            "workers": len(self._threads),
+            "queue": queue_block,
+            "requests": requests_block,
+            "latency_s": self.latency.summary(),
+            "batches": batch_block,
+            "engine": ws.engine.cache_info() if ws.engine else {},
+            "engine_nodes_settled": (
+                ws.engine.nodes_settled() if ws.engine else 0
+            ),
+            "buffers": buffers,
+            "workspace_version": ws.version,
+            "algorithms": sorted(self.algorithms),
+        }

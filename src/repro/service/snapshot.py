@@ -1,0 +1,128 @@
+"""Snapshot isolation between queries and mutations.
+
+One :class:`ReadWriteLock` per :class:`~repro.core.query.Workspace`
+separates the two kinds of work the serving layer interleaves:
+
+* **readers** — skyline query executions.  Any number may run at once;
+  each holds the shared side for its whole execution, so a query only
+  ever sees the dataset as it was when the query started ("snapshot
+  isolation" at the granularity the library needs: a workspace is
+  either entirely pre- or entirely post-mutation, never torn).
+* **the writer** — object churn or edge-weight mutation.  Exclusive:
+  it waits for in-flight queries to drain, applies the change, drives
+  the engine's invalidation hooks exactly once, and bumps the
+  workspace version.
+
+The lock is **writer-preferring**: once a writer is waiting, new
+readers queue behind it, so a steady query stream cannot starve
+mutations (the failure mode of naive reader-preference).  The write
+side is **reentrant** for the owning thread — compound mutations
+(``move_object`` = remove + add) nest their own ``mutating()`` blocks —
+and a thread holding the write lock may also take the read side (it
+already has exclusivity).  Lock *upgrades* (read → write while still
+holding the read side) are not supported and will deadlock; mutate
+from outside any reading block.
+
+This module deliberately imports nothing from the rest of the library
+so the core layer can use it without a dependency cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """A writer-preferring, writer-reentrant readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # owning thread ident
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # The exclusive holder may read its own snapshot.
+                self._readers += 1
+                return
+            while self._writer is not None or self._writers_waiting > 0:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers > 0:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by a non-owning thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, /statsz)
+    # ------------------------------------------------------------------
+    @property
+    def caller_write_depth(self) -> int:
+        """The calling thread's write-nesting depth (0 if not owner)."""
+        with self._cond:
+            if self._writer == threading.get_ident():
+                return self._writer_depth
+            return 0
+
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        with self._cond:
+            return self._writer is not None

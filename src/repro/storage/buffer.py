@@ -7,10 +7,17 @@ model: a page request is a *hit* (free) when the page is resident, a
 paper's) policy; FIFO and CLOCK (second-chance) are provided for the
 replacement-policy ablation in the benchmarks — CLOCK is what real
 buffer managers approximate LRU with.
+
+The pool is **thread-safe**: one internal lock covers the resident
+map, the replacement state *and* the :class:`IOStats` increments, so
+workers sharing a store never corrupt the recency order or lose
+hit/miss updates (unguarded ``+=`` on the counters is a classic lost
+update, and would make ``--stats`` undercount physical reads).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.disk import DiskManager
@@ -51,6 +58,9 @@ class BufferPool:
         # CLOCK state: reference bits per resident page and a hand over
         # the insertion order.
         self._referenced: dict[int, bool] = {}
+        # Guards residency, replacement state and stats increments; see
+        # the module docstring.
+        self._lock = threading.Lock()
         self.stats = stats if stats is not None else IOStats()
 
     @property
@@ -69,22 +79,23 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> Page:
         """Return a page, updating replacement state and counters."""
-        page = self._resident.get(page_id)
-        if page is not None:
-            self.stats.record_read(hit=True)
-            if self._policy == "lru":
-                self._resident.move_to_end(page_id)
-            elif self._policy == "clock":
-                self._referenced[page_id] = True
+        with self._lock:
+            page = self._resident.get(page_id)
+            if page is not None:
+                self.stats.record_read(hit=True)
+                if self._policy == "lru":
+                    self._resident.move_to_end(page_id)
+                elif self._policy == "clock":
+                    self._referenced[page_id] = True
+                return page
+            page = self._disk.read(page_id)
+            self.stats.record_read(hit=False)
+            if len(self._resident) >= self._frames:
+                self._evict()
+            self._resident[page_id] = page
+            if self._policy == "clock":
+                self._referenced[page_id] = False
             return page
-        page = self._disk.read(page_id)
-        self.stats.record_read(hit=False)
-        if len(self._resident) >= self._frames:
-            self._evict()
-        self._resident[page_id] = page
-        if self._policy == "clock":
-            self._referenced[page_id] = False
-        return page
 
     def _evict(self) -> None:
         if self._policy in ("lru", "fifo"):
@@ -106,13 +117,16 @@ class BufferPool:
 
     def is_resident(self, page_id: int) -> bool:
         """True if the page is currently cached (no state change)."""
-        return page_id in self._resident
+        with self._lock:
+            return page_id in self._resident
 
     def clear(self) -> None:
         """Drop every cached page (a 'cold' restart between experiments)."""
-        self._resident.clear()
-        self._referenced.clear()
+        with self._lock:
+            self._resident.clear()
+            self._referenced.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without evicting pages."""
-        self.stats.reset()
+        with self._lock:
+            self.stats.reset()

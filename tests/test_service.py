@@ -1,0 +1,308 @@
+"""Unit tests for the serving layer: planner, admission, deadlines.
+
+Concurrent mutation/query interleaving lives in
+``test_service_concurrency.py``; the HTTP transport in
+``test_service_http.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import build_random_network, place_random_objects
+from repro.core import LBC, Workspace
+from repro.service import (
+    BadRequest,
+    BatchPlanner,
+    DeadlineExceeded,
+    LatencyRecorder,
+    Overloaded,
+    QueryService,
+    ReadWriteLock,
+    SERVICE_ALGORITHMS,
+    ServiceClosed,
+    ServiceRequest,
+    execute_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    network = build_random_network(150, 110, seed=21, detour_max=0.6)
+    objects = place_random_objects(network, 50, seed=22, attribute_count=2)
+    return network, objects
+
+
+@pytest.fixture
+def workspace(dataset):
+    network, objects = dataset
+    return Workspace.build(network, objects, distance_backend="astar")
+
+
+def locations(network, *nodes):
+    return [network.location_at_node(n) for n in nodes]
+
+
+# ----------------------------------------------------------------------
+# BatchPlanner
+# ----------------------------------------------------------------------
+class TestBatchPlanner:
+    def test_disjoint_requests_get_separate_plans(self, dataset):
+        network, _ = dataset
+        requests = [
+            ServiceRequest(1, "LBC", locations(network, 1, 2)),
+            ServiceRequest(2, "LBC", locations(network, 30, 31)),
+        ]
+        plans = BatchPlanner().plan(requests)
+        assert len(plans) == 2
+        assert not plans[0].key_union() & plans[1].key_union()
+
+    def test_overlap_is_transitive(self, dataset):
+        """A-B share q2, B-C share q3 → one batch of three."""
+        network, _ = dataset
+        requests = [
+            ServiceRequest(1, "LBC", locations(network, 1, 2)),
+            ServiceRequest(2, "LBC", locations(network, 2, 3)),
+            ServiceRequest(3, "LBC", locations(network, 3, 4)),
+        ]
+        plans = BatchPlanner().plan(requests)
+        assert len(plans) == 1
+        assert len(plans[0].units) == 3
+        # Query point 2 and 3 each appear in two units.
+        shared = plans[0].shared_sources()
+        assert len(shared) == 2
+
+    def test_identical_requests_dedupe_into_one_unit(self, dataset):
+        network, _ = dataset
+        same = locations(network, 5, 6, 7)
+        permuted = locations(network, 7, 5, 6)
+        requests = [
+            ServiceRequest(1, "LBC", same),
+            ServiceRequest(2, "LBC", list(same)),
+            ServiceRequest(3, "LBC", permuted),
+            ServiceRequest(4, "EDC", list(same)),  # different algorithm
+        ]
+        plans = BatchPlanner().plan(requests)
+        assert len(plans) == 1
+        units = plans[0].units
+        assert len(units) == 2  # LBC×3 deduped, EDC separate
+        sizes = sorted(len(u.requests) for u in units)
+        assert sizes == [1, 3]
+
+    def test_execute_plan_answers_match_direct_runs(self, workspace):
+        network = workspace.network
+        requests = [
+            ServiceRequest(1, "LBC", locations(network, 1, 2, 3)),
+            ServiceRequest(2, "EDC", locations(network, 2, 3, 9)),
+        ]
+        plans = BatchPlanner().plan(requests)
+        assert len(plans) == 1
+        outcomes = execute_plan(workspace, plans[0], SERVICE_ALGORITHMS)
+        for request in requests:
+            direct = SERVICE_ALGORITHMS[request.algorithm]().run(
+                workspace, request.queries
+            )
+            assert outcomes[request.request_id].same_answer(direct)
+
+    def test_follower_vectors_are_permuted_not_copied(self, workspace):
+        network = workspace.network
+        canonical = ServiceRequest(1, "LBC", locations(network, 4, 11, 17))
+        follower = ServiceRequest(2, "LBC", locations(network, 17, 4, 11))
+        plans = BatchPlanner().plan([canonical, follower])
+        outcomes = execute_plan(workspace, plans[0], SERVICE_ALGORITHMS)
+        a, b = outcomes[1], outcomes[2]
+        assert a.object_ids() == b.object_ids()
+        attrs = workspace.attribute_count
+        for object_id, vector in a.vectors_by_id().items():
+            other = b.vectors_by_id()[object_id]
+            # order (4, 11, 17) → (17, 4, 11): distance columns rotate.
+            assert other[0] == pytest.approx(vector[2])
+            assert other[1] == pytest.approx(vector[0])
+            assert other[2] == pytest.approx(vector[1])
+            assert other[3:] == vector[3:]  # attributes unchanged
+            assert len(vector) == 3 + attrs
+
+    def test_unit_failure_does_not_sink_the_batch(self, workspace):
+        network = workspace.network
+
+        class Exploding:
+            name = "explode"
+
+            def run(self, workspace, queries):
+                raise RuntimeError("boom")
+
+        registry = dict(SERVICE_ALGORITHMS)
+        registry["explode"] = Exploding
+        requests = [
+            ServiceRequest(1, "explode", locations(network, 1, 2)),
+            ServiceRequest(2, "LBC", locations(network, 2, 3)),
+        ]
+        plans = BatchPlanner().plan(requests)
+        outcomes = execute_plan(workspace, plans[0], registry)
+        assert isinstance(outcomes[1], RuntimeError)
+        direct = LBC().run(workspace, requests[1].queries)
+        assert outcomes[2].same_answer(direct)
+
+
+# ----------------------------------------------------------------------
+# QueryService
+# ----------------------------------------------------------------------
+class TestQueryService:
+    def test_blocking_query_matches_direct_run(self, workspace):
+        network = workspace.network
+        queries = locations(network, 3, 40, 77)
+        direct = LBC().run(workspace, queries)
+        with QueryService(workspace, workers=2) as service:
+            result = service.query("LBC", queries)
+            assert result.same_answer(direct)
+
+    def test_unknown_algorithm_and_empty_queries_rejected(self, workspace):
+        with QueryService(workspace, workers=1) as service:
+            with pytest.raises(BadRequest):
+                service.submit("nope", locations(workspace.network, 1))
+            with pytest.raises(BadRequest):
+                service.submit("LBC", [])
+
+    def test_admission_control_sheds_when_queue_full(self, workspace):
+        network = workspace.network
+        queries = locations(network, 1, 2)
+        with QueryService(workspace, workers=1, queue_limit=3) as service:
+            service.pause()
+            for _ in range(3):
+                service.submit("LBC", queries)
+            with pytest.raises(Overloaded) as exc_info:
+                service.submit("LBC", queries)
+            assert exc_info.value.queue_limit == 3
+            assert service.stats_dict()["queue"]["shed"] == 1
+            service.resume()
+
+    def test_deadline_exceeded_for_stale_requests(self, workspace):
+        network = workspace.network
+        with QueryService(workspace, workers=1) as service:
+            service.pause()
+            pending = service.submit(
+                "LBC", locations(network, 1, 2), timeout_s=0.01
+            )
+            time.sleep(0.08)
+            service.resume()
+            with pytest.raises(DeadlineExceeded):
+                pending.result(timeout=10)
+            assert service.stats_dict()["requests"]["timed_out"] == 1
+
+    def test_dedupe_counted_and_consistent(self, workspace):
+        network = workspace.network
+        queries = locations(network, 8, 9, 10)
+        with QueryService(workspace, workers=1, max_batch=8) as service:
+            service.pause()
+            pendings = [service.submit("LBC", queries) for _ in range(4)]
+            service.resume()
+            results = [p.result(timeout=30) for p in pendings]
+            for other in results[1:]:
+                assert other.same_answer(results[0])
+            assert service.stats_dict()["requests"]["deduped"] == 3
+
+    def test_closed_service_rejects_submissions(self, workspace):
+        service = QueryService(workspace, workers=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit("LBC", locations(workspace.network, 1))
+
+    def test_close_drains_queued_requests(self, workspace):
+        network = workspace.network
+        service = QueryService(workspace, workers=2)
+        pendings = [
+            service.submit("LBC", locations(network, n, n + 1))
+            for n in range(1, 9, 2)
+        ]
+        service.close()
+        direct = {}
+        for pending in pendings:
+            result = pending.result(timeout=30)
+            key = tuple(q.node_id for q in pending.request.queries)
+            direct[key] = result
+        for key, result in direct.items():
+            reference = LBC().run(
+                workspace, locations(network, *key)
+            )
+            assert result.same_answer(reference)
+
+    def test_mutations_tracked_and_visible(self, workspace):
+        network = workspace.network
+        queries = locations(network, 3, 40)
+        with QueryService(workspace, workers=2) as service:
+            before = service.query("LBC", queries)
+            edge_id = sorted(network.edge_ids())[0]
+            old_length = network.edge(edge_id).length
+            service.update_edge_length(edge_id, old_length * 3.0)
+            after = service.query("LBC", queries)
+            stats = service.stats_dict()
+            assert stats["requests"]["mutations"] == 1
+            assert stats["workspace_version"] == 1
+            # The post-mutation answer matches a fresh direct run.
+            assert after.same_answer(LBC().run(workspace, queries))
+            del before  # answers may or may not differ; no torn state
+
+
+# ----------------------------------------------------------------------
+# Building blocks
+# ----------------------------------------------------------------------
+class TestReadWriteLock:
+    def test_reentrant_writer_and_reader_passthrough(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.write_locked():  # reentrant
+                assert lock.write_held
+            with lock.read_locked():  # owner may read
+                pass
+        assert not lock.write_held
+
+    def test_release_write_by_stranger_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestLatencyRecorder:
+    def test_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder(window=100)
+        for value in [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]:
+            recorder.record(value)
+        assert recorder.percentile(50) == pytest.approx(0.05)
+        assert recorder.percentile(95) == pytest.approx(0.10)
+        assert recorder.percentile(99) == pytest.approx(0.10)
+        assert recorder.count == 10
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean_s", "p50_s", "p95_s", "p99_s"}
+
+    def test_empty_recorder_reports_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(50) == 0.0
+        assert recorder.mean() == 0.0
+
+
+class TestWorkspaceSnapshotHooks:
+    def test_version_bumps_once_per_logical_mutation(self, dataset):
+        network, objects = dataset
+        workspace = Workspace.build(network, objects)
+        assert workspace.version == 0
+        moved = next(iter(workspace.objects))
+        workspace.move_object(
+            moved.object_id, network.location_at_node(1)
+        )
+        # remove + add nested inside move still count as one mutation.
+        assert workspace.version == 1
+
+    def test_compound_mutation_invalidates_engine_once(self, dataset):
+        network, objects = dataset
+        workspace = Workspace.build(network, objects)
+        engine = workspace.engine
+        # Prime a cache entry so invalidation has something to count.
+        engine.distance(
+            network.location_at_node(1), network.location_at_node(2)
+        )
+        before = engine.counters.invalidations
+        obj = next(iter(workspace.objects))
+        workspace.move_object(obj.object_id, network.location_at_node(3))
+        assert engine.counters.invalidations == before + 1

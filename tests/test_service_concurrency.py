@@ -1,0 +1,233 @@
+"""Concurrency correctness: snapshot isolation and locked shared state.
+
+The headline property: N reader threads issuing skyline queries while
+a writer mutates edge weights must never observe a *torn* snapshot —
+every answer equals the ground truth of either the pre-mutation or the
+post-mutation network, never a mixture.  Plus targeted stress for the
+two locked structures (engine memo/pool, buffer pool hit/miss
+accounting) whose unguarded versions lose updates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import build_random_network, place_random_objects
+from repro.core import LBC, Workspace
+from repro.service import QueryService
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def build_workspace(seed_offset: int = 0, edge_scale: float | None = None):
+    network = build_random_network(120, 90, seed=31, detour_max=0.6)
+    objects = place_random_objects(network, 40, seed=32, attribute_count=2)
+    workspace = Workspace.build(network, objects, distance_backend="astar")
+    if edge_scale is not None:
+        edge_id = sorted(network.edge_ids())[5]
+        workspace.update_edge_length(
+            edge_id, network.edge(edge_id).length * edge_scale
+        )
+    return workspace
+
+
+class TestMutationQueryInterleaving:
+    """Satellite: readers under a concurrent writer see no torn state."""
+
+    EDGE_SCALE = 4.0  # mutation: stretch one edge to 4x its length
+    QUERY_NODES = (3, 40, 77)
+    READERS = 4
+    QUERIES_PER_READER = 6
+
+    def test_answers_match_pre_or_post_mutation_ground_truth(self):
+        # Ground truths from two fresh, identical workspaces.
+        reference_before = None
+        reference_after = None
+        for scale, bucket in ((None, "before"), (self.EDGE_SCALE, "after")):
+            workspace = build_workspace(edge_scale=scale)
+            queries = [
+                workspace.network.location_at_node(n)
+                for n in self.QUERY_NODES
+            ]
+            result = LBC().run(workspace, queries)
+            if bucket == "before":
+                reference_before = result
+            else:
+                reference_after = result
+        # The mutation must actually change the answer vectors,
+        # otherwise this test cannot detect a torn snapshot.
+        assert not reference_before.same_answer(reference_after)
+
+        workspace = build_workspace()
+        network = workspace.network
+        queries = [network.location_at_node(n) for n in self.QUERY_NODES]
+        edge_id = sorted(network.edge_ids())[5]
+        new_length = network.edge(edge_id).length * self.EDGE_SCALE
+
+        outcomes: list = []
+        errors: list = []
+        start = threading.Barrier(self.READERS + 1)
+
+        with QueryService(workspace, workers=self.READERS) as service:
+
+            def reader():
+                start.wait()
+                for i in range(self.QUERIES_PER_READER):
+                    try:
+                        algorithm = ("LBC", "EDC", "CE")[i % 3]
+                        outcomes.append(
+                            service.query(algorithm, queries, timeout_s=60)
+                        )
+                    except Exception as exc:  # fail the test, not the thread
+                        errors.append(exc)
+
+            def writer():
+                start.wait()
+                # Mutate midway through the read storm.
+                service.update_edge_length(edge_id, new_length)
+
+            threads = [
+                threading.Thread(target=reader)
+                for _ in range(self.READERS)
+            ]
+            threads.append(threading.Thread(target=writer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive(), "worker wedged"
+
+        assert not errors, errors
+        assert len(outcomes) == self.READERS * self.QUERIES_PER_READER
+        matched_before = matched_after = 0
+        for result in outcomes:
+            if result.same_answer(reference_before):
+                matched_before += 1
+            elif result.same_answer(reference_after):
+                matched_after += 1
+            else:
+                pytest.fail(
+                    "torn snapshot: answer matches neither pre- nor "
+                    f"post-mutation ground truth: {result.object_ids()}"
+                )
+        # The mutation happened once, so at least one side was observed.
+        assert matched_before + matched_after == len(outcomes)
+        assert matched_after >= 1  # queries after the mutation see it
+
+
+class TestEngineThreadSafety:
+    """Satellite: the memo LRU and expander pool survive concurrency."""
+
+    def test_concurrent_distinct_source_distances_are_exact(self):
+        workspace = build_workspace()
+        network = workspace.network
+        engine = workspace.engine
+        node_ids = sorted(network.node_ids())
+        sources = node_ids[:16]
+        targets = node_ids[40:56]
+
+        # Sequential ground truth on a fresh workspace.
+        reference = {}
+        fresh = build_workspace()
+        for s in sources:
+            for t in targets:
+                reference[(s, t)] = fresh.engine.distance(
+                    fresh.network.location_at_node(s),
+                    fresh.network.location_at_node(t),
+                )
+
+        results: dict = {}
+        errors: list = []
+        lock = threading.Lock()
+
+        def hammer(source_slice):
+            try:
+                for s in source_slice:
+                    for t in targets:
+                        d = engine.distance(
+                            network.location_at_node(s),
+                            network.location_at_node(t),
+                        )
+                        with lock:
+                            results[(s, t)] = d
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(sources[i::4],))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        for key, expected in reference.items():
+            assert results[key] == pytest.approx(expected)
+
+    def test_memo_lru_structure_survives_hammering(self):
+        """Tiny capacity forces constant eviction under contention."""
+        from repro.engine.cache import DistanceMemo
+
+        memo = DistanceMemo(capacity=8)
+        errors: list = []
+
+        def churn(offset):
+            try:
+                for i in range(2000):
+                    key = ((offset + i) % 32,)
+                    memo.put(key, float(i))
+                    memo.get(((offset + i + 1) % 32,))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i * 7,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(memo) <= 8
+        counters = memo.counters
+        assert counters.hits + counters.misses == 6 * 2000
+
+
+class TestBufferPoolThreadSafety:
+    """Satellite: hit/miss accounting loses no updates under threads."""
+
+    THREADS = 6
+    FETCHES_PER_THREAD = 3000
+
+    def test_logical_reads_are_exact_under_concurrency(self):
+        disk = DiskManager(page_size=128)
+        pages = [disk.allocate().page_id for _ in range(64)]
+        pool = BufferPool(disk, capacity_bytes=128 * 16)  # 16 frames
+        errors: list = []
+
+        def churn(seed):
+            try:
+                state = seed
+                for _ in range(self.FETCHES_PER_THREAD):
+                    state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                    pool.fetch(pages[state % len(pages)])
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i + 1,))
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        # The lost-update bug makes this undercount; the lock makes it
+        # exact: every fetch is one logical read, hits + misses.
+        assert pool.stats.logical_reads == self.THREADS * self.FETCHES_PER_THREAD
+        assert pool.stats.physical_reads >= len(pages) - 16
+        assert pool.resident_count <= 16

@@ -1,0 +1,182 @@
+"""In-process HTTP transport tests for the serving layer.
+
+A real :class:`ServiceHTTPServer` bound to an ephemeral port, driven
+with ``urllib`` — no mocking, the exact stack ``repro-serve`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from conftest import build_random_network, place_random_objects
+from repro.core import LBC, Workspace
+from repro.service import QueryService, ServiceHTTPServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    network = build_random_network(120, 90, seed=41, detour_max=0.6)
+    objects = place_random_objects(network, 40, seed=42, attribute_count=2)
+    workspace = Workspace.build(network, objects, distance_backend="astar")
+    service = QueryService(workspace, workers=2)
+    http_server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield http_server
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.close()
+        thread.join(timeout=10)
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server, path, body):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_statsz_has_the_advertised_shape(self, server):
+        status, payload = get(server, "/statsz")
+        assert status == 200
+        assert payload["queue"].keys() >= {"depth", "limit", "shed"}
+        assert payload["latency_s"].keys() >= {"p50_s", "p95_s", "p99_s"}
+        assert "engine" in payload and "requests" in payload
+        assert "batches" in payload
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = get(server, "/nope")
+        assert status == 404
+
+    def test_query_matches_direct_run(self, server):
+        workspace = server.service.workspace
+        status, payload = post(
+            server,
+            "/query",
+            {"algorithm": "LBC", "query_nodes": [3, 40, 77]},
+        )
+        assert status == 200
+        queries = [workspace.network.location_at_node(n) for n in (3, 40, 77)]
+        direct = LBC().run(workspace, queries)
+        got = {
+            (entry["object_id"], tuple(entry["vector"]))
+            for entry in payload["skyline"]
+        }
+        want = {(p.object_id, tuple(p.vector)) for p in direct}
+        assert got == want
+        assert payload["stats"]["algorithm"] == "LBC"
+
+    def test_on_edge_query_points_accepted(self, server):
+        edge_id = sorted(server.service.workspace.network.edge_ids())[0]
+        status, payload = post(
+            server,
+            "/query",
+            {"query_points": [{"edge": edge_id, "offset": 0.0}, {"node": 5}]},
+        )
+        assert status == 200
+        assert payload["skyline"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"algorithm": "nope", "query_nodes": [1, 2]},
+            {"algorithm": "LBC", "query_nodes": [10**9]},
+            {"algorithm": "LBC", "query_nodes": "3"},
+            {"algorithm": "LBC"},
+            {"algorithm": "LBC", "query_points": [{"offset": 1.0}]},
+        ],
+    )
+    def test_bad_queries_are_400(self, server, body):
+        status, payload = post(server, "/query", body)
+        assert status == 400
+        assert "error" in payload
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc_info.value.code == 400
+
+    def test_mutate_bumps_version_and_changes_answers(self, server):
+        workspace = server.service.workspace
+        network = workspace.network
+        version_before = workspace.version
+        edge_id = sorted(network.edge_ids())[3]
+        new_length = network.edge(edge_id).length * 5.0
+        status, payload = post(
+            server,
+            "/mutate",
+            {"op": "update_edge", "edge_id": edge_id, "length": new_length},
+        )
+        assert status == 200
+        assert payload["workspace_version"] == version_before + 1
+        assert network.edge(edge_id).length == pytest.approx(new_length)
+        # Fresh query answers match a direct run on the mutated state.
+        status, payload = post(
+            server, "/query", {"query_nodes": [3, 40, 77]}
+        )
+        assert status == 200
+        queries = [network.location_at_node(n) for n in (3, 40, 77)]
+        direct = LBC().run(workspace, queries)
+        assert {e["object_id"] for e in payload["skyline"]} == {
+            p.object_id for p in direct
+        }
+
+    def test_mutate_add_and_remove_object(self, server):
+        workspace = server.service.workspace
+        count_before = len(workspace.objects)
+        status, _ = post(
+            server,
+            "/mutate",
+            {
+                "op": "add_object",
+                "object_id": 999_001,
+                "node": 7,
+                "attributes": [0.5, 0.5],
+            },
+        )
+        assert status == 200
+        assert len(workspace.objects) == count_before + 1
+        status, _ = post(
+            server, "/mutate", {"op": "remove_object", "object_id": 999_001}
+        )
+        assert status == 200
+        assert len(workspace.objects) == count_before
+
+    def test_mutate_unknown_op_is_400(self, server):
+        status, payload = post(server, "/mutate", {"op": "defragment"})
+        assert status == 400
+        assert "unknown op" in payload["error"]
+
+    def test_no_500s_were_served(self, server):
+        assert server.error_responses == 0
