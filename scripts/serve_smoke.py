@@ -7,7 +7,15 @@ mutations), then shuts it down with SIGTERM.  Fails loudly if:
 
 * any response is a 5xx (or a transport error),
 * ``/statsz`` does not parse or lacks the advertised keys,
+* ``/metricsz`` is not valid Prometheus text, contains a duplicate
+  metric family, or lacks the serving-path families,
+* no JSON traces are exported on shutdown (the server runs with
+  ``--trace-dir``),
 * the server does not exit cleanly on SIGTERM.
+
+The ``/metricsz`` scrape, the ``/slowlogz`` payload and the exported
+traces are written to ``$SMOKE_ARTIFACT_DIR`` (when set) so CI can
+upload them as a workflow artifact.
 
 Run from the repository root::
 
@@ -109,14 +117,58 @@ def post_json(url: str, path: str, body: dict) -> tuple[int, dict]:
             time.sleep(0.2 * (attempt + 1))
 
 
+def check_metricsz(url: str, artifact_dir: str) -> None:
+    """Scrape /metricsz, save it, and strictly validate the exposition."""
+    from repro.obs import parse_prometheus_text
+
+    with urllib.request.urlopen(url + "/metricsz", timeout=30) as r:
+        content_type = r.headers.get("Content-Type", "")
+        text = r.read().decode("utf-8")
+    with open(os.path.join(artifact_dir, "metricsz.txt"), "w") as handle:
+        handle.write(text)
+    if not content_type.startswith("text/plain"):
+        raise SystemExit(f"/metricsz content type {content_type!r}")
+    # The strict parser raises on duplicate families, TYPE-before-HELP,
+    # malformed labels — exactly the drift this smoke guards against.
+    families = parse_prometheus_text(text)
+    required = {
+        "repro_service_requests_total",
+        "repro_service_queue_depth",
+        "repro_service_request_latency_seconds",
+        "repro_buffer_reads_total",
+        "repro_buffer_hit_ratio",
+        "repro_engine_memo_events_total",
+    }
+    missing = required - set(families)
+    if missing:
+        raise SystemExit(f"/metricsz missing families: {sorted(missing)}")
+    completed = [
+        value
+        for name, labels, value in families["repro_service_requests_total"]["samples"]
+        if labels.get("outcome") == "completed"
+    ]
+    if not completed or completed[0] <= 0:
+        raise SystemExit("/metricsz shows zero completed requests")
+    print(
+        f"smoke: metricsz ok — {len(families)} families, "
+        f"no duplicates, completed={completed[0]:.0f}"
+    )
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmpdir:
+        artifact_dir = os.environ.get("SMOKE_ARTIFACT_DIR") or os.path.join(
+            tmpdir, "artifacts"
+        )
+        os.makedirs(artifact_dir, exist_ok=True)
+        trace_dir = os.path.join(artifact_dir, "traces")
         net_path, obj_path = generate_dataset(tmpdir)
         nodes = node_ids_from(net_path)
         process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.cli", "serve",
                 net_path, obj_path, "--port", "0", "--workers", "4",
+                "--trace-dir", trace_dir,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -190,6 +242,13 @@ def main() -> int:
                 f"p95={stats['latency_s']['p95_s']}s "
                 f"mean_batch={stats['batches']['mean_batch_size']}"
             )
+
+            check_metricsz(url, artifact_dir)
+            with urllib.request.urlopen(url + "/slowlogz", timeout=30) as r:
+                slowlog = json.loads(r.read())
+            with open(os.path.join(artifact_dir, "slowlogz.json"), "w") as h:
+                json.dump(slowlog, h, indent=1)
+            print(f"smoke: slowlogz ok — slow_count={slowlog['slow_count']}")
         finally:
             if process.poll() is None:
                 process.send_signal(signal.SIGTERM)
@@ -205,7 +264,18 @@ def main() -> int:
             )
         if returncode != 0:
             raise SystemExit(f"server exited with rc={returncode}")
-        print("smoke: clean shutdown")
+        traces = sorted(
+            f for f in os.listdir(trace_dir)
+            if f.startswith("trace-") and f.endswith(".json")
+        ) if os.path.isdir(trace_dir) else []
+        if not traces:
+            raise SystemExit(f"no traces exported to {trace_dir}")
+        with open(os.path.join(trace_dir, traces[0])) as handle:
+            root = json.load(handle)
+        for key in ("name", "trace_id", "children", "counts"):
+            if key not in root:
+                raise SystemExit(f"trace {traces[0]} missing {key!r}")
+        print(f"smoke: {len(traces)} traces exported, clean shutdown")
     return 0
 
 

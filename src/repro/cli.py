@@ -8,6 +8,8 @@ Installed as the ``repro`` console script (also runnable as
 * ``info``       — structural statistics of a network file;
 * ``query``      — run a multi-source skyline query over network/object
   files, print the answer table, optionally render an SVG;
+* ``trace``      — run one query with tracing on and print its span
+  tree (per-phase timings, page reads, settled nodes);
 * ``route``      — shortest path between two junctions;
 * ``serve``      — long-running concurrent HTTP query server (also
   installed as the ``repro-serve`` console script);
@@ -108,6 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--stats", action="store_true", help="print cost statistics"
     )
+
+    trace = sub.add_parser(
+        "trace", help="run one query and print its trace as a span tree"
+    )
+    trace.add_argument("network")
+    trace.add_argument("objects")
+    trace.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="LBC"
+    )
+    trace_group = trace.add_mutually_exclusive_group(required=True)
+    trace_group.add_argument(
+        "--query-nodes", type=int, nargs="+", help="junction ids"
+    )
+    trace_group.add_argument(
+        "--random-queries", type=int, help="draw N query junctions"
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--distance-backend",
+        choices=list(BACKEND_NAMES),
+        default=DEFAULT_BACKEND,
+    )
+    trace.add_argument(
+        "--keys", nargs="+",
+        help="counters to show per span (default: pages + settled nodes)",
+    )
+    trace.add_argument("--max-depth", type=int, default=8)
+    trace.add_argument("--json", help="also write the trace as JSON here")
 
     route = sub.add_parser("route", help="shortest path between junctions")
     route.add_argument("network")
@@ -243,6 +273,52 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import format_trace
+
+    network = load_network(args.network)
+    objects = load_objects(network, args.objects)
+    workspace = Workspace.build(
+        network, objects, distance_backend=args.distance_backend
+    )
+    if args.query_nodes:
+        missing = [n for n in args.query_nodes if not network.has_node(n)]
+        if missing:
+            print(f"error: unknown junction ids {missing}", file=sys.stderr)
+            return 2
+        queries = [network.location_at_node(n) for n in args.query_nodes]
+    else:
+        queries = select_query_points(
+            network, args.random_queries, seed=args.seed
+        )
+        print(
+            "query junctions:",
+            " ".join(str(q.node_id) for q in queries),
+        )
+    algorithm = ALGORITHMS[args.algorithm]()
+    result = algorithm.run(workspace, queries)
+
+    root = result.trace
+    if args.keys:
+        print(format_trace(root, keys=tuple(args.keys), max_depth=args.max_depth))
+    else:
+        print(format_trace(root, max_depth=args.max_depth))
+    s = result.stats
+    print(
+        f"\n{len(result)} skyline points ({algorithm.name})  "
+        f"nodes_settled={s.nodes_settled} net_pages={s.network_pages} "
+        f"idx_pages={s.index_pages} mid_pages={s.middle_pages} "
+        f"t={s.total_response_s:.4f}s"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(root.to_dict(), handle, indent=1)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_route(args) -> int:
     from repro.network import route_to
 
@@ -293,6 +369,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "trace": _cmd_trace,
         "route": _cmd_route,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,

@@ -2,7 +2,18 @@
 
 Every algorithm subclasses :class:`SkylineAlgorithm` and implements
 ``_execute``; the base class handles query validation, timing, and the
-I/O snapshotting that turns buffer-pool counters into per-query stats.
+telemetry root span whose counters *are* the per-query stats.
+
+Accounting model: ``run`` opens one root tracing span per query
+(:mod:`repro.obs.tracing`).  Every instrumented event — a buffer-pool
+miss, a settled node, a memo probe — charges the innermost span of the
+executing thread, and the root's recursive totals become
+:class:`~repro.core.stats.QueryStats`.  Single-threaded this equals the
+old before/after counter-delta scheme exactly; under the concurrent
+service it is strictly better, because another worker's page misses can
+no longer leak into this query's delta.  It also makes the
+reconciliation invariant structural: span sums and stats totals agree
+because they are the same numbers.
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from repro.core.query import Workspace
 from repro.core.result import SkylinePoint, SkylineResult
 from repro.core.stats import QueryStats
 from repro.network.graph import NetworkLocation
+from repro.obs import tracing
 from repro.skyline.dominance import dominates
 
 
@@ -27,8 +39,9 @@ class SkylineAlgorithm(ABC):
     ) -> SkylineResult:
         """Answer one query, returning points and cost statistics.
 
-        I/O counters are delta-measured, so workspaces can be reused;
-        call :meth:`Workspace.reset_io` beforehand for cold-buffer runs.
+        Stats are read off this run's root tracing span, so workspaces
+        can be reused freely; call :meth:`Workspace.reset_io`
+        beforehand for cold-buffer runs.
         """
         workspace.validate_queries(queries)
         stats = QueryStats(
@@ -36,36 +49,43 @@ class SkylineAlgorithm(ABC):
             query_count=len(queries),
             object_count=len(workspace.objects),
         )
-        net_before = workspace.network_pages_read()
-        idx_before = workspace.index_pages_read()
-        mid_before = workspace.middle_pages_read()
         engine = workspace.engine
-        engine_before = engine.counters if engine is not None else None
 
-        started = time.perf_counter()
-        timer = _ResponseTimer(
-            started,
-            pages_probe=lambda: (
-                workspace.network_pages_read() - net_before,
-                workspace.index_pages_read()
-                + workspace.middle_pages_read()
-                - idx_before
-                - mid_before,
-            ),
-        )
-        points = self._execute(workspace, list(queries), stats, timer)
-        finished = time.perf_counter()
+        with tracing.span(
+            f"query.{self.name}",
+            algorithm=self.name,
+            query_count=len(queries),
+        ) as root:
+            started = time.perf_counter()
+            timer = _ResponseTimer(
+                started,
+                # Children attach to the root at creation, so live
+                # totals include spans still open when the first point
+                # is confirmed mid-execution.
+                pages_probe=lambda: (
+                    int(root.total("network_pages")),
+                    int(
+                        root.total("index_pages") + root.total("middle_pages")
+                    ),
+                ),
+            )
+            points = self._execute(workspace, list(queries), stats, timer)
+            finished = time.perf_counter()
 
         stats.skyline_count = len(points)
-        if engine is not None and engine_before is not None:
-            after = engine.counters
+        stats.trace_id = root.trace_id
+        if engine is not None:
             stats.distance_backend = engine.backend_name
-            stats.engine_hits = after.hits - engine_before.hits
-            stats.engine_misses = after.misses - engine_before.misses
-            stats.engine_evictions = after.evictions - engine_before.evictions
-        stats.network_pages = workspace.network_pages_read() - net_before
-        stats.index_pages = workspace.index_pages_read() - idx_before
-        stats.middle_pages = workspace.middle_pages_read() - mid_before
+        totals = root.totals()
+        stats.nodes_settled = int(totals.get("nodes_settled", 0))
+        stats.distance_computations = int(totals.get("distance_computations", 0))
+        stats.lb_expansions = int(totals.get("lb_expansions", 0))
+        stats.engine_hits = int(totals.get("engine_hits", 0))
+        stats.engine_misses = int(totals.get("engine_misses", 0))
+        stats.engine_evictions = int(totals.get("engine_evictions", 0))
+        stats.network_pages = int(totals.get("network_pages", 0))
+        stats.index_pages = int(totals.get("index_pages", 0))
+        stats.middle_pages = int(totals.get("middle_pages", 0))
         stats.total_response_s = finished - started
         stats.initial_response_s = timer.first_response(default=stats.total_response_s)
         net_at_first, idx_at_first = timer.pages_at_first(
@@ -73,7 +93,8 @@ class SkylineAlgorithm(ABC):
         )
         stats.initial_network_pages = net_at_first
         stats.initial_index_pages = idx_at_first
-        return SkylineResult(points=points, stats=stats)
+        root.attributes["skyline_count"] = len(points)
+        return SkylineResult(points=points, stats=stats, trace=root)
 
     @abstractmethod
     def _execute(

@@ -44,6 +44,7 @@ from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
+from repro.obs import tracing
 from repro.skyline.dominance import dominates, dominates_lower_bounds
 
 
@@ -150,7 +151,7 @@ class CollaborativeExpansion(SkylineAlgorithm):
             row = known.setdefault(obj.object_id, {})
             row[index] = value
             if index < n:
-                stats.distance_computations += 1
+                tracing.record("distance_computations")
                 # INE emissions are exact distances: feed the shared
                 # memo so later queries and explain() answer from cache.
                 engine.record(queries[index], obj.location, value)
@@ -161,25 +162,26 @@ class CollaborativeExpansion(SkylineAlgorithm):
         # ------------------------------------------------------------------
         first_complete: int | None = None
         completing_index = 0
-        while first_complete is None and not all(exhausted):
-            if self.strategy == "round_robin":
-                order = [i for i in range(m) if not exhausted[i]]
-            else:
-                chosen = self._next_dimension(expanders, exhausted, range(m))
-                order = [] if chosen is None else [chosen]
-            if not order:
-                break
-            for i in order:
-                expander = expanders[i]
-                emission = expander.next_nearest_object()
-                if emission is None:
-                    exhausted[i] = True
-                    continue
-                obj, value = emission
-                if record_visit(i, obj, value):
-                    first_complete = obj.object_id
-                    completing_index = i
+        with tracing.span("ce.filter"):
+            while first_complete is None and not all(exhausted):
+                if self.strategy == "round_robin":
+                    order = [i for i in range(m) if not exhausted[i]]
+                else:
+                    chosen = self._next_dimension(expanders, exhausted, range(m))
+                    order = [] if chosen is None else [chosen]
+                if not order:
                     break
+                for i in order:
+                    expander = expanders[i]
+                    emission = expander.next_nearest_object()
+                    if emission is None:
+                        exhausted[i] = True
+                        continue
+                    obj, value = emission
+                    if record_visit(i, obj, value):
+                        first_complete = obj.object_id
+                        completing_index = i
+                        break
 
         candidates: set[int] = set(known)
         skyline: list[SkylinePoint] = []
@@ -227,39 +229,40 @@ class CollaborativeExpansion(SkylineAlgorithm):
         # Refinement phase (spatial dimensions only: attribute values of
         # candidates are already exact)
         # ------------------------------------------------------------------
-        while candidates and not all(exhausted[:n]):
-            progressed = False
-            for i in range(n):
-                if exhausted[i] or not candidates:
-                    continue
-                if not self._wants_expansion(i, candidates, known):
-                    continue
-                emission = expanders[i].next_nearest_object()
-                if emission is None:
-                    exhausted[i] = True
-                    continue
-                progressed = True
-                obj, value = emission
-                engine.record(queries[i], obj.location, value)
-                if obj.object_id not in candidates:
-                    # New objects met during refinement are dominated
-                    # (they lie beyond p* in every dimension) — discard.
-                    continue
-                row = known[obj.object_id]
-                row[i] = value
-                stats.distance_computations += 1
-                if all(j in row for j in range(n)):
-                    candidates.discard(obj.object_id)
-                    vector = self._vector(row, n, obj)
-                    if not any(dominates(s.vector, vector) for s in skyline):
-                        new_point = SkylinePoint(obj=obj, vector=vector)
-                        insert_skyline_point(skyline, new_point)
-                        timer.mark_first_result()
-                        self._prune(
-                            candidates, known, objects, expanders, new_point, n
-                        )
-            if not progressed:
-                break
+        with tracing.span("ce.refine"):
+            while candidates and not all(exhausted[:n]):
+                progressed = False
+                for i in range(n):
+                    if exhausted[i] or not candidates:
+                        continue
+                    if not self._wants_expansion(i, candidates, known):
+                        continue
+                    emission = expanders[i].next_nearest_object()
+                    if emission is None:
+                        exhausted[i] = True
+                        continue
+                    progressed = True
+                    obj, value = emission
+                    engine.record(queries[i], obj.location, value)
+                    if obj.object_id not in candidates:
+                        # New objects met during refinement are dominated
+                        # (they lie beyond p* in every dimension) — discard.
+                        continue
+                    row = known[obj.object_id]
+                    row[i] = value
+                    tracing.record("distance_computations")
+                    if all(j in row for j in range(n)):
+                        candidates.discard(obj.object_id)
+                        vector = self._vector(row, n, obj)
+                        if not any(dominates(s.vector, vector) for s in skyline):
+                            new_point = SkylinePoint(obj=obj, vector=vector)
+                            insert_skyline_point(skyline, new_point)
+                            timer.mark_first_result()
+                            self._prune(
+                                candidates, known, objects, expanders, new_point, n
+                            )
+                if not progressed:
+                    break
 
         # Finalise candidates that remained partially visited because a
         # wavefront exhausted (unreachable regions): unknown = inf.
@@ -270,7 +273,6 @@ class CollaborativeExpansion(SkylineAlgorithm):
                 insert_skyline_point(skyline, SkylinePoint(obj=obj, vector=vector))
                 timer.mark_first_result()
 
-        stats.nodes_settled = sum(e.nodes_settled for e in expanders)
         return skyline
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
+from repro.obs import tracing
 from repro.skyline.bbs import (
     euclidean_vector,
     incremental_euclidean_skyline,
@@ -72,7 +73,6 @@ class _EDCBase(SkylineAlgorithm):
         # results kept", Section 6.1): stay on the engine's A*-family
         # backend even when the workspace default is plain Dijkstra.
         self._backend = self._engine._astar_backend_name()
-        self._nodes_before = self._engine.nodes_settled()
         self._network_vectors: dict[int, tuple[float, ...]] = {}
         self._euclidean_vectors: dict[int, tuple[float, ...]] = {}
         self._objects: dict[int, SpatialObject] = {}
@@ -89,15 +89,11 @@ class _EDCBase(SkylineAlgorithm):
             distances.append(
                 self._engine.distance(q, obj.location, backend=self._backend)
             )
-            stats.distance_computations += 1
+            tracing.record("distance_computations")
         vector = tuple(distances) + obj.attributes
         self._network_vectors[obj.object_id] = vector
         self._objects[obj.object_id] = obj
         return vector
-
-    def _settled_nodes(self) -> int:
-        """Engine nodes settled on behalf of this run (delta accounting)."""
-        return self._engine.nodes_settled() - self._nodes_before
 
     def _euclidean_vector(self, obj: SpatialObject) -> tuple[float, ...]:
         cached = self._euclidean_vectors.get(obj.object_id)
@@ -170,6 +166,15 @@ class _EDCBase(SkylineAlgorithm):
         timer: _ResponseTimer,
     ) -> None:
         """Fetch-and-test loop guaranteeing completeness (see module doc)."""
+        with tracing.span("edc.closure"):
+            self._closure_body(skyline, stats, timer)
+
+    def _closure_body(
+        self,
+        skyline: list[SkylinePoint],
+        stats: QueryStats,
+        timer: _ResponseTimer,
+    ) -> None:
         fetched = set(self._network_vectors)
         extra = 0
         while True:
@@ -202,7 +207,7 @@ class _EDCBase(SkylineAlgorithm):
                     insert_skyline_point(skyline, SkylinePoint(obj=obj, vector=vector))
                     timer.mark_first_result()
         if extra:
-            stats.extras["closure_candidates"] = float(extra)
+            stats.merge_extras({"closure_candidates": extra})
             stats.candidate_count += extra
 
 
@@ -221,47 +226,49 @@ class EuclideanDistanceConstraint(_EDCBase):
         self._setup(workspace, queries)
 
         # Step 1: Euclidean multi-source skyline.
-        euclidean_sky = list(
-            incremental_euclidean_skyline(
-                workspace.object_rtree,
-                self._query_points,
-                attribute_count=workspace.attribute_count,
+        with tracing.span("edc.euclidean"):
+            euclidean_sky = list(
+                incremental_euclidean_skyline(
+                    workspace.object_rtree,
+                    self._query_points,
+                    attribute_count=workspace.attribute_count,
+                )
             )
-        )
 
         # Step 2: network vectors of the Euclidean skyline points.
         candidates: dict[int, SpatialObject] = {}
         shifted: list[tuple[float, ...]] = []
-        for obj, _vec in euclidean_sky:
-            candidates[obj.object_id] = obj
-            shifted.append(self._network_vector(obj, stats))
+        with tracing.span("edc.shift"):
+            for obj, _vec in euclidean_sky:
+                candidates[obj.object_id] = obj
+                shifted.append(self._network_vector(obj, stats))
 
         # Step 3: one window query over the union of the hypercubes.
         skip = set(candidates)
-        for obj in self._fetch_union(shifted, skip):
-            candidates[obj.object_id] = obj
-            skip.add(obj.object_id)
+        with tracing.span("edc.window"):
+            for obj in self._fetch_union(shifted, skip):
+                candidates[obj.object_id] = obj
+                skip.add(obj.object_id)
 
         stats.candidate_count = len(candidates)
 
-        # Step 4: network vectors for every candidate (A* state reused).
-        ordered = sorted(candidates.values(), key=lambda o: o.object_id)
-        vectors = [self._network_vector(obj, stats) for obj in ordered]
-
-        # Step 5: skyline of the candidate set (SFS: presorted by the
-        # monotone component sum, each tuple compared to the confirmed
-        # skyline only).
+        # Steps 4+5: network vectors for every candidate (A* state
+        # reused), then the skyline of the candidate set (SFS:
+        # presorted by the monotone component sum, each tuple compared
+        # to the confirmed skyline only).
         skyline: list[SkylinePoint] = []
-        for index in sfs_skyline(vectors):
-            insert_skyline_point(
-                skyline, SkylinePoint(obj=ordered[index], vector=vectors[index])
-            )
-            timer.mark_first_result()
+        with tracing.span("edc.refine"):
+            ordered = sorted(candidates.values(), key=lambda o: o.object_id)
+            vectors = [self._network_vector(obj, stats) for obj in ordered]
+            for index in sfs_skyline(vectors):
+                insert_skyline_point(
+                    skyline, SkylinePoint(obj=ordered[index], vector=vectors[index])
+                )
+                timer.mark_first_result()
 
         # Correctness closure (no-op when the paper's region sufficed).
         self._closure(skyline, stats, timer)
 
-        stats.nodes_settled = self._settled_nodes()
         return skyline
 
 
@@ -300,17 +307,21 @@ class EuclideanDistanceConstraintIncremental(_EDCBase):
             extra_prune=in_covered_region,
             attribute_count=workspace.attribute_count,
         )
-        for euclid_obj, _euclid_vec in stream:
-            if euclid_obj.object_id not in fetched:
-                fetched.add(euclid_obj.object_id)
-                vector = self._network_vector(euclid_obj, stats)
-                undetermined[euclid_obj.object_id] = (euclid_obj, vector)
-            corner = self._network_vectors[euclid_obj.object_id]
-            for obj in self._fetch_hypercube(corner, fetched):
-                fetched.add(obj.object_id)
-                undetermined[obj.object_id] = (obj, self._network_vector(obj, stats))
-            covered.append(corner)
-            self._confirm_resolved(corner, undetermined, skyline, timer)
+        with tracing.span("edc.stream"):
+            for euclid_obj, _euclid_vec in stream:
+                if euclid_obj.object_id not in fetched:
+                    fetched.add(euclid_obj.object_id)
+                    vector = self._network_vector(euclid_obj, stats)
+                    undetermined[euclid_obj.object_id] = (euclid_obj, vector)
+                corner = self._network_vectors[euclid_obj.object_id]
+                for obj in self._fetch_hypercube(corner, fetched):
+                    fetched.add(obj.object_id)
+                    undetermined[obj.object_id] = (
+                        obj,
+                        self._network_vector(obj, stats),
+                    )
+                covered.append(corner)
+                self._confirm_resolved(corner, undetermined, skyline, timer)
 
         # The Euclidean stream is exhausted: every undetermined candidate
         # not dominated within the computed set is a skyline point.
@@ -324,7 +335,6 @@ class EuclideanDistanceConstraintIncremental(_EDCBase):
 
         stats.candidate_count = len(fetched)
         self._closure(skyline, stats, timer)
-        stats.nodes_settled = self._settled_nodes()
         return skyline
 
     def _confirm_resolved(

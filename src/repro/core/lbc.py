@@ -61,6 +61,7 @@ from repro.core.stats import QueryStats
 from repro.network.astar import AStarExpander
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
+from repro.obs import tracing
 from repro.skyline.bbs import mbr_lower_bound_vector
 from repro.skyline.dominance import dominates_lower_bounds
 
@@ -130,7 +131,6 @@ class LowerBoundConstraint(SkylineAlgorithm):
         skyline: list[SkylinePoint] = []
         skyline_vectors: list[tuple[float, ...]] = []
 
-        nodes_before = engine.nodes_settled()
         for p, source_dist in self._network_nn_stream(
             workspace, queries, source, source_expander, skyline_vectors, stats
         ):
@@ -150,7 +150,6 @@ class LowerBoundConstraint(SkylineAlgorithm):
             skyline_vectors[:] = [s.vector for s in skyline]
             timer.mark_first_result()
 
-        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline
 
     # ------------------------------------------------------------------
@@ -216,10 +215,11 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 euclid_dist, candidate = next_euclid
                 if buffered and min(d for _, d in buffered.values()) <= euclid_dist:
                     break
-                network_dist = self._engine.distance_via(
-                    source, candidate.location, source_expander
-                )
-                stats.distance_computations += 1
+                with tracing.span("lbc.stream"):
+                    network_dist = self._engine.distance_via(
+                        source, candidate.location, source_expander
+                    )
+                tracing.record("distance_computations")
                 stats.candidate_count += 1
                 buffered[candidate.object_id] = (candidate, network_dist)
                 pull()
@@ -256,51 +256,54 @@ class LowerBoundConstraint(SkylineAlgorithm):
         for i, q in others:
             bounds[i] = q.point.distance_to(p.point)
 
-        if not self.use_lower_bounds:
-            # Ablation path: full distance computation for every
-            # candidate, then one exact dominance check.
-            for i, _ in others:
-                bounds[i] = self._engine.distance_via(
-                    queries[i], p.location, other_expanders[i]
-                )
-                stats.distance_computations += 1
-            vector = tuple(bounds) + p.attributes
-            if any(dominates_lower_bounds(s, vector) for s in skyline_vectors):
-                return None
-            return vector
+        with tracing.span("lbc.resolve", object_id=p.object_id):
+            if not self.use_lower_bounds:
+                # Ablation path: full distance computation for every
+                # candidate, then one exact dominance check.
+                for i, _ in others:
+                    bounds[i] = self._engine.distance_via(
+                        queries[i], p.location, other_expanders[i]
+                    )
+                    tracing.record("distance_computations")
+                vector = tuple(bounds) + p.attributes
+                if any(dominates_lower_bounds(s, vector) for s in skyline_vectors):
+                    return None
+                return vector
 
-        def bounds_vector() -> tuple[float, ...]:
-            return tuple(bounds) + p.attributes
+            def bounds_vector() -> tuple[float, ...]:
+                return tuple(bounds) + p.attributes
 
-        while True:
-            if any(
-                dominates_lower_bounds(s, bounds_vector())
-                for s in skyline_vectors
-            ):
-                return None
-            unfinished = [
-                i
-                for i, _ in others
-                if i not in searches or not searches[i].done
-            ]
-            if not unfinished:
-                return bounds_vector()
-            # Expand the non-source query point with the smallest plb.
-            target = min(unfinished, key=lambda i: (bounds[i], i))
-            search = searches.get(target)
-            if search is None:
-                search = other_expanders[target].search_toward(p.location)
-                searches[target] = search
-                stats.distance_computations += 1
-                bounds[target] = max(bounds[target], search.plb)
+            while True:
+                if any(
+                    dominates_lower_bounds(s, bounds_vector())
+                    for s in skyline_vectors
+                ):
+                    return None
+                unfinished = [
+                    i
+                    for i, _ in others
+                    if i not in searches or not searches[i].done
+                ]
+                if not unfinished:
+                    return bounds_vector()
+                # Expand the non-source query point with the smallest plb.
+                target = min(unfinished, key=lambda i: (bounds[i], i))
+                search = searches.get(target)
+                if search is None:
+                    search = other_expanders[target].search_toward(p.location)
+                    searches[target] = search
+                    tracing.record("distance_computations")
+                    bounds[target] = max(bounds[target], search.plb)
+                    if search.done:
+                        # Exact distance (settled fast path): feed the memo.
+                        self._engine.record(
+                            queries[target], p.location, search.distance
+                        )
+                    continue
+                bounds[target] = max(bounds[target], search.expand_step())
+                tracing.record("lb_expansions")
                 if search.done:
-                    # Exact distance (settled fast path): feed the memo.
                     self._engine.record(queries[target], p.location, search.distance)
-                continue
-            bounds[target] = max(bounds[target], search.expand_step())
-            stats.lb_expansions += 1
-            if search.done:
-                self._engine.record(queries[target], p.location, search.distance)
 
 
 class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
@@ -344,7 +347,6 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
         skyline_vectors: list[tuple[float, ...]] = []
         resolved_ids: set[int] = set()
 
-        nodes_before = engine.nodes_settled()
         streams = [
             self._network_nn_stream(
                 workspace, queries, queries[i], expanders[i], skyline_vectors, stats
@@ -381,7 +383,6 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
                 skyline_vectors[:] = [s.vector for s in skyline]
                 timer.mark_first_result()
 
-        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline
 
 
@@ -448,7 +449,6 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
 
         skyline: list[SkylinePoint] = []
         skyline_vectors: list[tuple[float, ...]] = []
-        nodes_before = engine.nodes_settled()
 
         source_point = source.point
         all_query_points = [q.point for q in queries]
@@ -488,5 +488,4 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
             skyline_vectors[:] = [s.vector for s in skyline]
             timer.mark_first_result()
 
-        stats.nodes_settled = engine.nodes_settled() - nodes_before
         return skyline

@@ -15,6 +15,7 @@ from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
 from repro.core.stats import QueryStats
 from repro.network.graph import NetworkLocation
+from repro.obs import tracing
 from repro.skyline.bnl import bnl_skyline
 
 
@@ -34,10 +35,8 @@ class NaiveSkyline(SkylineAlgorithm):
         objects = list(workspace.objects)
         stats.candidate_count = len(objects)
 
-        nodes_before = engine.nodes_settled()
         full_vectors = engine.vectors(queries, objects)
-        stats.distance_computations += len(queries) * len(objects)
-        stats.nodes_settled = engine.nodes_settled() - nodes_before
+        tracing.record("distance_computations", len(queries) * len(objects))
 
         winners = bnl_skyline(full_vectors)
         points = [

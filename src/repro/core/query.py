@@ -35,6 +35,7 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.middle_layer import InMemoryPlacements, MiddleLayer
 from repro.network.objects import ObjectSet, SpatialObject
 from repro.network.storage import NetworkStore
+from repro.obs import MetricRegistry
 from repro.storage.binding import NodePager
 from repro.storage.buffer import DEFAULT_BUFFER_BYTES
 from repro.storage.page import DEFAULT_PAGE_SIZE
@@ -52,6 +53,7 @@ class Workspace:
     rtree_pager: NodePager | None
     middle_pager: NodePager | None
     engine: DistanceEngine | None = None
+    metrics: MetricRegistry | None = None
 
     def __post_init__(self) -> None:
         # Workspaces assembled directly (tests, serialization) get a
@@ -60,12 +62,96 @@ class Workspace:
             self.engine = DistanceEngine(
                 self.network, store=self.store, placements=self.middle
             )
+        if self.metrics is None:
+            self.metrics = MetricRegistry()
+        self._register_metrics()
         # Imported here, not at module level: repro.service sits above
         # repro.core, and snapshot.py is its one dependency-free module.
         from repro.service.snapshot import ReadWriteLock
 
         self._rwlock = ReadWriteLock()
         self._version = 0
+
+    def _register_metrics(self) -> None:
+        """Expose the workspace's live counters as callback metrics.
+
+        Everything here is a scrape-time read of counters that already
+        exist (buffer-pool :class:`~repro.storage.stats.IOStats`, the
+        engine's memo) — registration costs nothing on the query hot
+        path, and ``/metricsz`` always reflects the current truth
+        without parallel bookkeeping.
+        """
+        registry = self.metrics
+        assert registry is not None
+        pools = {
+            "network": self.store.stats if self.store is not None else None,
+            "index": (
+                self.rtree_pager.stats if self.rtree_pager is not None else None
+            ),
+            "middle": (
+                self.middle_pager.stats if self.middle_pager is not None else None
+            ),
+        }
+        for pool_name, io in pools.items():
+            if io is None:
+                continue
+            registry.register_callback(
+                "repro_buffer_reads_total",
+                (lambda s=io: s.logical_reads),
+                kind="counter",
+                help_text="Logical page reads per buffer pool",
+                pool=pool_name,
+                mode="logical",
+            )
+            registry.register_callback(
+                "repro_buffer_reads_total",
+                (lambda s=io: s.physical_reads),
+                kind="counter",
+                help_text="Logical page reads per buffer pool",
+                pool=pool_name,
+                mode="physical",
+            )
+            registry.register_callback(
+                "repro_buffer_hit_ratio",
+                (lambda s=io: s.hit_ratio),
+                kind="gauge",
+                help_text="Buffer-pool hit ratio over logical reads",
+                pool=pool_name,
+            )
+        engine = self.engine
+        if engine is not None:
+            for field_name in ("hits", "misses", "evictions", "invalidations"):
+                registry.register_callback(
+                    "repro_engine_memo_events_total",
+                    (lambda e=engine, f=field_name: getattr(e.counters, f)),
+                    kind="counter",
+                    help_text="Distance-memo lookup outcomes",
+                    event=field_name,
+                )
+            registry.register_callback(
+                "repro_engine_nodes_settled_total",
+                engine.nodes_settled,
+                kind="counter",
+                help_text="Nodes settled by engine-owned expanders",
+            )
+            registry.register_callback(
+                "repro_engine_memo_entries",
+                (lambda e=engine: len(e._memo)),
+                kind="gauge",
+                help_text="Entries currently held by the distance memo",
+            )
+        registry.register_callback(
+            "repro_workspace_objects",
+            (lambda: len(self.objects)),
+            kind="gauge",
+            help_text="Spatial objects currently registered",
+        )
+        registry.register_callback(
+            "repro_workspace_version",
+            (lambda: self.version),
+            kind="gauge",
+            help_text="Monotone workspace mutation counter",
+        )
 
     # ------------------------------------------------------------------
     # Snapshot isolation
@@ -139,13 +225,19 @@ class Workspace:
                 policy=buffer_policy,
             )
             middle_pager = NodePager(
-                buffer_bytes=buffer_bytes, page_size=page_size, policy=buffer_policy
+                buffer_bytes=buffer_bytes,
+                page_size=page_size,
+                policy=buffer_policy,
+                component="middle",
             )
             middle: MiddleLayer | InMemoryPlacements = MiddleLayer.build(
                 objects, order=bptree_order, pager=middle_pager
             )
             rtree_pager = NodePager(
-                buffer_bytes=buffer_bytes, page_size=page_size, policy=buffer_policy
+                buffer_bytes=buffer_bytes,
+                page_size=page_size,
+                policy=buffer_policy,
+                component="index",
             )
             object_rtree = objects.build_rtree(
                 max_entries=rtree_max_entries, pager=rtree_pager

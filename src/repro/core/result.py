@@ -35,6 +35,14 @@ class SkylineResult:
 
     points: list[SkylinePoint] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+    trace: object | None = field(default=None, compare=False, repr=False)
+    """The run's root :class:`repro.obs.tracing.Span` (``query.<algo>``).
+
+    Always populated by :meth:`SkylineAlgorithm.run`; consumers that
+    want the tree (the ``repro trace`` CLI, the experiment harness)
+    read it here, everyone else ignores it.  Typed loosely so the
+    result module keeps zero telemetry imports.
+    """
 
     def __len__(self) -> int:
         return len(self.points)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+_EXTRA_VALUE_TYPES = (bool, int, float, str)
+
 
 @dataclass
 class QueryStats:
@@ -46,7 +48,13 @@ class QueryStats:
     initial_network_pages: int = 0
     initial_index_pages: int = 0
 
-    extras: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, float | int | str | bool] = field(default_factory=dict)
+    """Algorithm- or service-specific annotations (heterogeneous by
+    design: numeric counters, backend names, dedup flags).  Merge
+    through :meth:`merge_extras`, which validates keys and value types."""
+
+    trace_id: str = ""
+    """Trace id of the query's root span when tracing captured the run."""
 
     IO_PENALTY_S = 0.010
     """Modeled cost of one physical page read (2007-era disk seek).
@@ -89,6 +97,25 @@ class QueryStats:
         if lookups == 0:
             return 0.0
         return self.engine_hits / lookups
+
+    def merge_extras(self, values: dict) -> None:
+        """Merge annotation key/values, validating at the boundary.
+
+        Keys must be non-empty strings; values must be scalars
+        (bool/int/float/str) — nested structures belong in traces, not
+        in row-oriented stats.  Raises ``TypeError``/``ValueError`` so a
+        bad producer fails at merge time, not when reporting formats the
+        row.
+        """
+        for key, value in values.items():
+            if not isinstance(key, str) or not key:
+                raise TypeError(f"extras keys must be non-empty str, got {key!r}")
+            if not isinstance(value, _EXTRA_VALUE_TYPES):
+                raise TypeError(
+                    f"extras[{key!r}] must be a scalar "
+                    f"(bool/int/float/str), got {type(value).__name__}"
+                )
+            self.extras[key] = value
 
     def as_row(self) -> dict[str, float]:
         """Flat dictionary for tabular reporting."""

@@ -28,6 +28,7 @@ from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.landmarks import LandmarkHeuristic
 from repro.network.storage import NetworkStore
+from repro.obs import tracing
 
 DEFAULT_BACKEND = "dijkstra"
 DEFAULT_LANDMARK_COUNT = 8
@@ -114,11 +115,15 @@ class AStarLandmarksBackend(AStarBackend):
 
     def heuristic(self) -> LandmarkHeuristic:
         if self._landmarks is None:
-            self._landmarks = LandmarkHeuristic(
-                self.network,
-                count=max(1, min(self.landmark_count, self.network.node_count)),
-                seed=self.landmark_seed,
-            )
+            # Amortised precomputation shared by every later query; the
+            # suppression keeps its Dijkstra runs off whichever query's
+            # trace span happened to trigger the build.
+            with tracing.suppressed():
+                self._landmarks = LandmarkHeuristic(
+                    self.network,
+                    count=max(1, min(self.landmark_count, self.network.node_count)),
+                    seed=self.landmark_seed,
+                )
         return self._landmarks
 
     def reset(self) -> None:

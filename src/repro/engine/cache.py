@@ -26,6 +26,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs import tracing
+
 DEFAULT_MEMO_CAPACITY = 65536
 
 MemoKey = tuple
@@ -66,9 +68,11 @@ class DistanceMemo:
             value = self._entries.get(key)
             if value is None:
                 self.counters.misses += 1
+                tracing.record("engine_misses")
                 return None
             self._entries.move_to_end(key)
             self.counters.hits += 1
+            tracing.record("engine_hits")
             return value
 
     def put(self, key: MemoKey, value: float) -> None:
@@ -84,6 +88,7 @@ class DistanceMemo:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.counters.evictions += 1
+                tracing.record("engine_evictions")
 
     def clear(self, count_invalidation: bool = True) -> None:
         """Drop every entry (a mutation made them unsafe)."""

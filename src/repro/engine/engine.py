@@ -71,6 +71,7 @@ from repro.network.astar import AStarExpander, HeuristicFn
 from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.storage import NetworkStore
+from repro.obs import tracing
 
 DEFAULT_POOL_CAPACITY = 128
 
@@ -323,7 +324,13 @@ class DistanceEngine:
         Source-major iteration keeps each pooled wavefront hot for the
         full target sweep before moving on.
         """
-        return [self.distances(source, targets, backend=backend) for source in sources]
+        with tracing.span(
+            "engine.matrix", sources=len(sources), targets=len(targets)
+        ):
+            return [
+                self.distances(source, targets, backend=backend)
+                for source in sources
+            ]
 
     def vector(
         self,
@@ -350,9 +357,12 @@ class DistanceEngine:
         whole object set — the batch-API contract of the engine.
         """
         locations = [obj.location for obj in objects]
-        columns = [
-            self.distances(q, locations, backend=backend) for q in queries
-        ]
+        with tracing.span(
+            "engine.vectors", queries=len(queries), objects=len(objects)
+        ):
+            columns = [
+                self.distances(q, locations, backend=backend) for q in queries
+            ]
         return [
             tuple(column[i] for column in columns) + obj.attributes
             for i, obj in enumerate(objects)

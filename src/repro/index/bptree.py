@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Generic, Iterable, Iterator, TypeVar
 
+from repro.obs import tracing
 from repro.storage.binding import NodePager
 
 K = TypeVar("K")
@@ -103,6 +104,7 @@ class BPlusTree(Generic[K, V]):
     # ------------------------------------------------------------------
     def _touch(self, node: _Node) -> None:
         if self._pager is not None:
+            tracing.record("bptree_nodes")
             self._pager.touch(id(node))
 
     def _descend_to_leaf(self, key: K) -> _Leaf:

@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
+from repro.obs import tracing
 from repro.storage.binding import NodePager
 
 DEFAULT_MAX_ENTRIES = 32
@@ -362,6 +363,7 @@ class RTree:
     # ------------------------------------------------------------------
     def _touch(self, node: _RTreeNode) -> None:
         if self._pager is not None:
+            tracing.record("rtree_nodes")
             self._pager.touch(id(node))
 
     def search(self, region: MBR) -> Iterator[tuple[MBR, Any]]:

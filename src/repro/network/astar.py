@@ -34,6 +34,7 @@ from typing import Callable
 from repro.index.heap import AddressableHeap
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.storage import NetworkStore
+from repro.obs import tracing
 
 INFINITY = math.inf
 
@@ -247,6 +248,7 @@ class LowerBoundSearch:
         g = expander.frontier.pop(node)
         expander.settled[node] = g
         expander.nodes_settled += 1
+        tracing.record("nodes_settled")
         if expander.store is not None:
             expander.store.touch_node(node)
 

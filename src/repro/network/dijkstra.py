@@ -24,6 +24,7 @@ from typing import Iterator, Protocol
 
 from repro.index.heap import AddressableHeap
 from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.obs import tracing
 from repro.network.middle_layer import ObjectPlacement
 from repro.network.objects import SpatialObject
 from repro.network.storage import NetworkStore
@@ -103,6 +104,7 @@ class DijkstraExpander:
         node, dist = self._heap.pop()
         self.settled[node] = dist
         self.nodes_settled += 1
+        tracing.record("nodes_settled")
         if self.store is not None:
             self.store.touch_node(node)
         for neighbor, edge_id in self.network.neighbors(node):

@@ -73,7 +73,11 @@ class NetworkStore:
         self.network = network
         self.disk = DiskManager(page_size=page_size)
         self.pool = BufferPool(
-            self.disk, capacity_bytes=buffer_bytes, stats=stats, policy=policy
+            self.disk,
+            capacity_bytes=buffer_bytes,
+            stats=stats,
+            policy=policy,
+            component="network",
         )
         self._page_of_node: dict[int, int] = {}
         self._cluster(page_size, hilbert_order)

@@ -1,0 +1,59 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+Every cost signal the paper's evaluation is built on (network page
+accesses, nodes settled, memo hits, response times) flows through this
+package exactly once, in one of three shapes:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — process-lifetime counters,
+  gauges and fixed-bucket histograms, grouped into labeled families in
+  a thread-safe :class:`MetricRegistry` and exposed in Prometheus text
+  format at ``GET /metricsz``.
+* **Tracing spans** (:mod:`repro.obs.tracing`) — a hierarchical span
+  tree per query, propagated via :mod:`contextvars` from service
+  request admission through batch execution, algorithm phases, engine
+  backend calls, and down to individual R-tree/B+-tree node visits and
+  buffer-pool misses.  Per-span counters are the *source of truth* for
+  :class:`~repro.core.stats.QueryStats`: the per-query totals are read
+  off the query's root span, so span sums and stats totals reconcile
+  exactly by construction.
+* **Slow-query log** (:mod:`repro.obs.slowlog`) — threshold-filtered,
+  reservoir-sampled records of the worst requests a service answered.
+
+Layering: ``obs`` sits below everything (stdlib only); storage, index,
+engine, core and service all call *into* it and never the reverse.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricFamily,
+    MetricRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    activate,
+    current_span,
+    format_trace,
+    record,
+    span,
+    suppressed,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricRegistry",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_span",
+    "format_trace",
+    "parse_prometheus_text",
+    "record",
+    "span",
+    "suppressed",
+]

@@ -1,0 +1,441 @@
+"""Thread-safe metric registry with Prometheus text exposition.
+
+A :class:`MetricRegistry` owns named *metric families*; each family has
+a type (``counter``, ``gauge`` or ``histogram``), an optional fixed
+label schema, and one child per label-value combination.  Families are
+get-or-create: registering the same name twice returns the existing
+family (and raises if the type or label schema disagrees), so every
+component of a workspace can idempotently wire its own metrics.
+
+Two kinds of children exist:
+
+* **instrument children** — hold their own state (``inc``, ``set``,
+  ``observe``); used for event-driven signals such as request outcomes
+  and latency observations;
+* **callback children** — read their value from a zero-argument
+  callable at collection time; used to export counters that already
+  live elsewhere (buffer-pool :class:`~repro.storage.stats.IOStats`,
+  the engine's memo counters) without double bookkeeping.  This is the
+  custom-collector bridge pattern of real Prometheus clients.
+
+:meth:`MetricRegistry.render` emits the text exposition format
+(``# HELP`` / ``# TYPE`` + samples); :func:`parse_prometheus_text` is
+the matching strict parser used by the CI smoke test to prove the
+endpoint stays well-formed with zero duplicate families.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Default histogram buckets (seconds), log-ish spaced like client_python."""
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotone counter child (or a callback view of one)."""
+
+    __slots__ = ("_value", "_lock", "_callback")
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._callback = callback
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise TypeError("callback-backed counters cannot be incremented")
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> Iterable[tuple]:
+        yield (name, labels, self.value)
+
+
+class Gauge:
+    """A set/inc/dec gauge child (or a callback view)."""
+
+    __slots__ = ("_value", "_lock", "_callback")
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise TypeError("callback-backed gauges cannot be set")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise TypeError("callback-backed gauges cannot be incremented")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> Iterable[tuple]:
+        yield (name, labels, self.value)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram child."""
+
+    __slots__ = ("_buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self._buckets = tuple(buckets)
+        self._counts = [0] * (len(self._buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative per-bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for c in self._counts:
+                running += c
+                cumulative.append(running)
+            return cumulative, self._sum, self._count
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> Iterable[tuple]:
+        cumulative, total, count = self.snapshot()
+        bounds = [*self._buckets, math.inf]
+        for bound, cum in zip(bounds, cumulative):
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(float(bound))
+            yield (f"{name}_bucket", bucket_labels, cum)
+        yield (f"{name}_sum", labels, total)
+        yield (f"{name}_count", labels, count)
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        _validate_name(name)
+        if kind not in METRIC_TYPES:
+            raise ValueError(f"unknown metric type {kind!r}; choose {METRIC_TYPES}")
+        if kind == "histogram" and "le" in labels:
+            raise ValueError("'le' is reserved for histogram buckets")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.label_names = tuple(labels)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _key_of(self, label_values: Mapping[str, str]) -> tuple[str, ...]:
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {tuple(label_values)}"
+            )
+        return tuple(str(label_values[k]) for k in self.label_names)
+
+    def _make_child(self, callback: Callable[[], float] | None = None):
+        if self.kind == "counter":
+            return Counter(callback)
+        if self.kind == "gauge":
+            return Gauge(callback)
+        if callback is not None:
+            raise TypeError("histograms do not support callbacks")
+        return Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+
+    def labels(self, **label_values: str):
+        """The (lazily created) child for one label-value combination."""
+        key = self._key_of(label_values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def attach_callback(
+        self, callback: Callable[[], float], **label_values: str
+    ) -> None:
+        """Register a callback child (overwrites an existing child)."""
+        key = self._key_of(label_values)
+        with self._lock:
+            self._children[key] = self._make_child(callback)
+
+    def child_count(self) -> int:
+        with self._lock:
+            return len(self._children)
+
+    def collect(self) -> list[tuple]:
+        """``(sample_name, labels_dict, value)`` triples, label-sorted."""
+        with self._lock:
+            children = sorted(self._children.items())
+        out: list[tuple] = []
+        for key, child in children:
+            labels = dict(zip(self.label_names, key))
+            out.extend(child.samples(self.name, labels))
+        return out
+
+
+class MetricRegistry:
+    """Thread-safe collection of metric families with text exposition."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help_text, labels, buckets)
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name} already registered as {family.kind}, not {kind}"
+            )
+        if family.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name} already registered with labels "
+                f"{family.label_names}, not {tuple(labels)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._get_or_create(name, "histogram", help_text, labels, buckets)
+
+    def register_callback(
+        self,
+        name: str,
+        callback: Callable[[], float],
+        kind: str = "gauge",
+        help_text: str = "",
+        **label_values: str,
+    ) -> MetricFamily:
+        """Expose an externally maintained value under ``name``.
+
+        The common bridge for counters that already live in IOStats,
+        the engine, or the service: collection calls ``callback()``.
+        """
+        family = self._get_or_create(
+            name, kind, help_text, tuple(sorted(label_values))
+        )
+        family.attach_callback(callback, **label_values)
+        return family
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def collect(self) -> dict[str, list[tuple]]:
+        """All samples, keyed by family name (for tests and /statsz)."""
+        return {f.name: f.collect() for f in self.families()}
+
+    def render(self) -> str:
+        """The Prometheus text exposition (one HELP/TYPE per family)."""
+        lines: list[str] = []
+        for family in self.families():
+            help_text = family.help_text.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for sample_name, labels, value in family.collect():
+                lines.append(
+                    f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Strictly parse an exposition, raising on malformed or duplicate data.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}``.  A family name appearing in two
+    separate ``# TYPE`` blocks — the drift the CI smoke guards against —
+    raises ``ValueError``.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            name = parts[2]
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate family {name!r}")
+            families[name] = {
+                "type": None,
+                "help": parts[3] if len(parts) > 3 else "",
+                "samples": [],
+            }
+            current = name
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in METRIC_TYPES:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            name = parts[2]
+            if name not in families:
+                raise ValueError(f"line {lineno}: TYPE before HELP for {name!r}")
+            if families[name]["type"] is not None:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name]["type"] = parts[3]
+            current = name
+        elif line.startswith("#"):
+            continue
+        else:
+            sample_name, labels, value = _parse_sample(line, lineno)
+            base = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                    base = sample_name[: -len(suffix)]
+                    break
+            if base not in families:
+                raise ValueError(
+                    f"line {lineno}: sample {sample_name!r} outside any family"
+                )
+            if current != base:
+                raise ValueError(
+                    f"line {lineno}: sample for {base!r} interleaved into "
+                    f"{current!r}'s block"
+                )
+            families[base]["samples"].append((sample_name, labels, value))
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name!r} has HELP but no TYPE")
+    return families
+
+
+def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], float]:
+    rest = line
+    labels: dict[str, str] = {}
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_part, rest = rest.split("}", 1)
+        for item in label_part.split(","):
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"line {lineno}: malformed label {item!r}")
+            key, raw = item.split("=", 1)
+            if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+                raise ValueError(f"line {lineno}: unquoted label value {raw!r}")
+            labels[key.strip()] = raw[1:-1]
+    else:
+        name, rest = line.split(None, 1)
+        rest = " " + rest
+    name = name.strip()
+    _validate_name(name)
+    value_text = rest.strip().split()[0]
+    try:
+        value = float(value_text)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {value_text!r}")
+    return name, labels, value

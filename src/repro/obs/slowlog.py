@@ -1,0 +1,116 @@
+"""Slow-query log: threshold filter + reservoir sampling.
+
+Every request slower than ``threshold_s`` is *counted*; a bounded,
+uniformly random sample of them (algorithm R) is *retained* with enough
+context to debug later — algorithm, query keys, latency, the dominant
+cost counters, and the trace id if tracing was on.  The reservoir keeps
+the log O(capacity) memory under sustained overload while remaining an
+unbiased sample of the slow population.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One retained slow request."""
+
+    request_id: str
+    algorithm: str
+    latency_s: float
+    wall_time: float
+    query_nodes: tuple[int, ...] = ()
+    trace_id: str | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "algorithm": self.algorithm,
+            "latency_s": self.latency_s,
+            "wall_time": self.wall_time,
+            "query_nodes": list(self.query_nodes),
+            "trace_id": self.trace_id,
+            "counters": dict(self.counters),
+        }
+
+
+class SlowQueryLog:
+    """Thread-safe threshold + reservoir-sampled slow-request log."""
+
+    def __init__(
+        self,
+        threshold_s: float = 0.5,
+        capacity: int = 64,
+        seed: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_s = threshold_s
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._reservoir: list[SlowQueryRecord] = []
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def offer(
+        self,
+        request_id: str,
+        algorithm: str,
+        latency_s: float,
+        query_nodes: tuple[int, ...] = (),
+        trace_id: str | None = None,
+        counters: dict[str, float] | None = None,
+    ) -> bool:
+        """Record a finished request; returns True iff it was slow."""
+        if latency_s < self.threshold_s:
+            return False
+        record = SlowQueryRecord(
+            request_id=request_id,
+            algorithm=algorithm,
+            latency_s=latency_s,
+            wall_time=time.time(),
+            query_nodes=tuple(query_nodes),
+            trace_id=trace_id,
+            counters=dict(counters or {}),
+        )
+        with self._lock:
+            self._seen += 1
+            if len(self._reservoir) < self.capacity:
+                self._reservoir.append(record)
+            else:
+                # Algorithm R: replace with probability capacity/seen.
+                slot = self._rng.randrange(self._seen)
+                if slot < self.capacity:
+                    self._reservoir[slot] = record
+        return True
+
+    @property
+    def slow_count(self) -> int:
+        """Total slow requests observed (not just retained)."""
+        with self._lock:
+            return self._seen
+
+    def records(self) -> list[SlowQueryRecord]:
+        """Retained sample, slowest first."""
+        with self._lock:
+            return sorted(self._reservoir, key=lambda r: -r.latency_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "threshold_s": self.threshold_s,
+            "capacity": self.capacity,
+            "slow_count": self.slow_count,
+            "records": [r.to_dict() for r in self.records()],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._reservoir.clear()
+            self._seen = 0

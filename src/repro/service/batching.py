@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace as dc_replace
 from repro.core.result import SkylinePoint, SkylineResult
 from repro.engine import location_key
 from repro.network.graph import NetworkLocation
+from repro.obs import Span, tracing
 
 
 @dataclass
@@ -49,6 +50,7 @@ class ServiceRequest:
     queries: list[NetworkLocation]
     deadline: float | None = None  # time.monotonic() deadline, None = none
     enqueued_at: float = 0.0  # time.monotonic() at admission
+    span: Span | None = None  # root span opened at admission
 
     def key_set(self) -> frozenset:
         """The request's query points as pool-identity keys."""
@@ -173,21 +175,30 @@ def execute_plan(workspace, plan: BatchPlan, algorithms) -> dict:
         if engine is not None and len(plan.units) > 1 and len(shared) > 1:
             # Warm phase: one pooled wavefront per shared source,
             # expanded just far enough to reach its co-located peers.
-            engine.matrix(shared, shared)
+            # Amortised across the whole batch, so its cost is charged
+            # to a free-standing span rather than any one request.
+            with tracing.suppressed(), tracing.span(
+                "batch.warm", sources=len(shared)
+            ):
+                engine.matrix(shared, shared)
         for unit in plan.units:
             request = unit.canonical
-            try:
-                algorithm = algorithms[request.algorithm]()
-                result = algorithm.run(workspace, list(request.queries))
-            except Exception as exc:  # typed per-unit failure
-                for member in unit.requests:
-                    outcomes[member.request_id] = exc
-                continue
-            outcomes[request.request_id] = result
-            for follower in unit.followers:
-                outcomes[follower.request_id] = _reorder_result(
-                    workspace, result, follower
-                )
+            # Re-enter the request's admission span on this worker
+            # thread: the algorithm's query.<name> span (and all page /
+            # settle counters below it) become its children.
+            with tracing.activate(request.span):
+                try:
+                    algorithm = algorithms[request.algorithm]()
+                    result = algorithm.run(workspace, list(request.queries))
+                except Exception as exc:  # typed per-unit failure
+                    for member in unit.requests:
+                        outcomes[member.request_id] = exc
+                    continue
+                outcomes[request.request_id] = result
+                for follower in unit.followers:
+                    outcomes[follower.request_id] = _reorder_result(
+                        workspace, result, follower
+                    )
     return outcomes
 
 
@@ -204,7 +215,11 @@ def _reorder_result(
     engine = workspace.engine
     objects = [p.obj for p in result.points]
     if engine is None or not objects:
-        return SkylineResult(points=list(result.points), stats=result.stats)
+        return SkylineResult(
+            points=list(result.points),
+            stats=result.stats,
+            trace=result.trace,
+        )
     vectors = engine.vectors(follower.queries, objects)
     points = [
         SkylinePoint(obj=obj, vector=vector)
@@ -212,5 +227,7 @@ def _reorder_result(
     ]
     stats = dc_replace(result.stats)
     stats.extras = dict(result.stats.extras)
-    stats.extras["deduped"] = stats.extras.get("deduped", 0.0) + 1.0
-    return SkylineResult(points=points, stats=stats)
+    stats.merge_extras(
+        {"deduped": int(stats.extras.get("deduped", 0)) + 1}
+    )
+    return SkylineResult(points=points, stats=stats, trace=result.trace)

@@ -14,6 +14,10 @@ one handler.  Routes:
 * ``GET /healthz`` — liveness.
 * ``GET /statsz``  — the service's full stats block (queue depth, shed
   count, latency percentiles, batch and engine/buffer counters).
+* ``GET /metricsz`` — the shared metric registry in Prometheus text
+  exposition format (``text/plain; version=0.0.4``).
+* ``GET /slowlogz`` — the slow-query log: threshold, total slow count
+  and the reservoir-sampled records, slowest first.
 
 Typed service failures map onto status codes: ``Overloaded`` → 503
 (with ``Retry-After``), ``DeadlineExceeded`` → 504, ``BadRequest`` and
@@ -46,6 +50,7 @@ from repro.service.errors import (
 from repro.service.service import (
     DEFAULT_MAX_BATCH,
     DEFAULT_QUEUE_LIMIT,
+    DEFAULT_SLOW_THRESHOLD_S,
     DEFAULT_TIMEOUT_S,
     DEFAULT_WORKERS,
     QueryService,
@@ -153,6 +158,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        if status >= 500:
+            self.server.error_responses += 1
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length > MAX_BODY_BYTES:
@@ -175,6 +190,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"status": "ok"})
             elif self.path == "/statsz":
                 self._send_json(200, self.server.service.stats_dict())
+            elif self.path == "/metricsz":
+                self._send_text(
+                    200,
+                    self.server.service.metrics.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif self.path == "/slowlogz":
+                self._send_json(200, self.server.service.slow_queries.to_dict())
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
         except Exception as exc:
@@ -282,6 +305,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="skip disk-cost simulation (faster, no page accounting)",
     )
     parser.add_argument(
+        "--trace-dir", default=None,
+        help="export retained request traces as JSON here on shutdown",
+    )
+    parser.add_argument(
+        "--slow-threshold-s", type=float, default=DEFAULT_SLOW_THRESHOLD_S,
+        help="requests slower than this land in the slow-query log",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -313,6 +344,8 @@ def run_serve(args) -> int:
         queue_limit=args.queue_limit,
         default_timeout_s=args.timeout_s,
         max_batch=args.max_batch,
+        slow_threshold_s=args.slow_threshold_s,
+        trace_export_dir=args.trace_dir,
     )
     server = ServiceHTTPServer(
         (args.host, args.port), service, quiet=not args.verbose
@@ -334,6 +367,9 @@ def run_serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+        if args.trace_dir:
+            paths = service.tracer.save(args.trace_dir)
+            print(f"saved {len(paths)} traces to {args.trace_dir}", flush=True)
         print("shutdown complete", flush=True)
     return 0
 

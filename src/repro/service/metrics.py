@@ -48,21 +48,35 @@ class LatencyRecorder:
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile over the window (0.0 when empty)."""
-        if not 0.0 < p <= 100.0:
-            raise ValueError(f"percentile must be in (0, 100], got {p}")
         with self._lock:
             ordered = sorted(self._samples)
+        return self._nearest_rank(ordered, p)
+
+    @staticmethod
+    def _nearest_rank(ordered: list[float], p: float) -> float:
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
         if not ordered:
             return 0.0
         rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
         return ordered[int(rank) - 1]
 
     def summary(self) -> dict[str, float]:
-        """The flat block ``/statsz`` embeds."""
+        """The flat block ``/statsz`` embeds.
+
+        One snapshot, one sort: count, mean and all three percentiles
+        come from a single sorted copy of the window instead of
+        re-locking and re-sorting per field (the window is 2k samples,
+        and ``/statsz`` may be polled at high frequency).
+        """
+        with self._lock:
+            count = self._count
+            total = self._total
+            ordered = sorted(self._samples)
         return {
-            "count": self.count,
-            "mean_s": round(self.mean(), 6),
-            "p50_s": round(self.percentile(50), 6),
-            "p95_s": round(self.percentile(95), 6),
-            "p99_s": round(self.percentile(99), 6),
+            "count": count,
+            "mean_s": round(total / count, 6) if count else 0.0,
+            "p50_s": round(self._nearest_rank(ordered, 50), 6),
+            "p95_s": round(self._nearest_rank(ordered, 95), 6),
+            "p99_s": round(self._nearest_rank(ordered, 99), 6),
         }

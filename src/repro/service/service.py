@@ -41,6 +41,7 @@ from typing import Callable, Mapping
 from repro.core import ALL_ALGORITHMS, NaiveSkyline, Workspace
 from repro.core.result import SkylineResult
 from repro.network.graph import NetworkLocation
+from repro.obs import DEFAULT_LATENCY_BUCKETS, SlowQueryLog, Span, Tracer
 from repro.service.batching import BatchPlanner, ServiceRequest, execute_plan
 from repro.service.errors import (
     BadRequest,
@@ -59,6 +60,8 @@ DEFAULT_QUEUE_LIMIT = 64
 DEFAULT_TIMEOUT_S = 30.0
 DEFAULT_MAX_BATCH = 8
 DEFAULT_BATCH_WINDOW_S = 0.002
+DEFAULT_SLOW_THRESHOLD_S = 0.5
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class PendingQuery:
@@ -105,6 +108,9 @@ class QueryService:
         max_batch: int = DEFAULT_MAX_BATCH,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         algorithms: Mapping[str, type] | None = None,
+        slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        trace_retention: int = 128,
+        trace_export_dir: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -139,6 +145,14 @@ class QueryService:
         self._batched_requests = 0
 
         self.latency = LatencyRecorder()
+        self.tracer = Tracer(
+            retention=trace_retention, export_dir=trace_export_dir
+        )
+        self.slow_queries = SlowQueryLog(threshold_s=slow_threshold_s)
+        # The service shares the workspace's registry so one /metricsz
+        # scrape covers the whole stack: service -> engine -> buffers.
+        self.metrics = workspace.metrics
+        self._register_metrics()
         self._started_monotonic = time.monotonic()
         self._started_wall = time.time()
 
@@ -150,6 +164,70 @@ class QueryService:
         ]
         for thread in self._threads:
             thread.start()
+
+    def _register_metrics(self) -> None:
+        """Expose the service's counters on the shared registry.
+
+        Everything already counted under ``_cond`` is bridged with
+        scrape-time callbacks (zero hot-path cost, no double
+        bookkeeping); only the two histograms record inline, in
+        :meth:`_finish` and :meth:`_process` respectively.
+        """
+        registry = self.metrics
+        outcomes = registry.counter(
+            "repro_service_requests_total",
+            "Requests by lifecycle event (submitted counts admissions).",
+            labels=("outcome",),
+        )
+        for outcome, reader in (
+            ("submitted", lambda: float(self._submitted)),
+            ("completed", lambda: float(self._completed)),
+            ("failed", lambda: float(self._failed)),
+            ("timed_out", lambda: float(self._timed_out)),
+            ("shed", lambda: float(self._shed)),
+            ("deduped", lambda: float(self._deduped)),
+        ):
+            outcomes.attach_callback(reader, outcome=outcome)
+        registry.register_callback(
+            "repro_service_queue_depth",
+            lambda: float(len(self._queue)),
+            kind="gauge",
+            help_text="Requests admitted but not yet claimed by a worker.",
+        )
+        registry.register_callback(
+            "repro_service_active_keys",
+            lambda: float(len(self._active_keys)),
+            kind="gauge",
+            help_text="Query-point keys locked by in-flight batches.",
+        )
+        registry.register_callback(
+            "repro_service_batches_total",
+            lambda: float(self._batches),
+            kind="counter",
+            help_text="Batch plans executed.",
+        )
+        registry.register_callback(
+            "repro_service_mutations_total",
+            lambda: float(self._mutations),
+            kind="counter",
+            help_text="Workspace mutations applied under the write lock.",
+        )
+        registry.register_callback(
+            "repro_service_slow_queries_total",
+            lambda: float(self.slow_queries.slow_count),
+            kind="counter",
+            help_text="Completed requests over the slow-query threshold.",
+        )
+        self._latency_hist = registry.histogram(
+            "repro_service_request_latency_seconds",
+            "End-to-end request latency, admission to completion.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).labels()
+        self._batch_size_hist = registry.histogram(
+            "repro_service_batch_size",
+            "Requests per executed batch plan.",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).labels()
 
     # ------------------------------------------------------------------
     # Client surface
@@ -176,6 +254,12 @@ class QueryService:
             queries=list(queries),
             deadline=None if timeout_s is None else now + timeout_s,
             enqueued_at=now,
+        )
+        request.span = Span(
+            f"request.{algorithm}",
+            algorithm=algorithm,
+            request_id=request.request_id,
+            query_count=len(queries),
         )
         pending = PendingQuery(request)
         with self._cond:
@@ -278,10 +362,12 @@ class QueryService:
                 self._batches += 1
                 self._batched_requests += plan.request_count
                 self._deduped += plan.request_count - len(plan.units)
+            self._batch_size_hist.observe(float(plan.request_count))
             for request_id, outcome in outcomes.items():
                 self._finish(by_id[request_id], outcome)
 
     def _finish(self, pending: PendingQuery, outcome) -> None:
+        request = pending.request
         with self._cond:
             if isinstance(outcome, DeadlineExceeded):
                 self._timed_out += 1
@@ -289,10 +375,30 @@ class QueryService:
                 self._failed += 1
             else:
                 self._completed += 1
+        span = request.span
         if not isinstance(outcome, BaseException):
-            self.latency.record(
-                time.monotonic() - pending.request.enqueued_at
+            latency_s = time.monotonic() - request.enqueued_at
+            self.latency.record(latency_s)
+            self._latency_hist.observe(latency_s)
+            if span is not None:
+                self.slow_queries.offer(
+                    request_id=request.request_id,
+                    algorithm=request.algorithm,
+                    latency_s=latency_s,
+                    query_nodes=[
+                        q.node_id if q.is_node else [q.edge_id, q.offset]
+                        for q in request.queries
+                    ],
+                    trace_id=span.trace_id,
+                    counters=span.totals(),
+                )
+        if span is not None:
+            span.attributes["outcome"] = (
+                type(outcome).__name__
+                if isinstance(outcome, BaseException)
+                else "ok"
             )
+            self.tracer.finish(span)
         pending._fulfill(outcome)
 
     def _acquire_keys(self, keys: frozenset) -> None:
@@ -396,6 +502,11 @@ class QueryService:
                 ws.engine.nodes_settled() if ws.engine else 0
             ),
             "buffers": buffers,
+            "slow_queries": {
+                "threshold_s": self.slow_queries.threshold_s,
+                "count": self.slow_queries.slow_count,
+                "retained": len(self.slow_queries.records()),
+            },
             "workspace_version": ws.version,
             "algorithms": sorted(self.algorithms),
         }

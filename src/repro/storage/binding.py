@@ -28,11 +28,16 @@ class NodePager:
         page_size: int = DEFAULT_PAGE_SIZE,
         stats: IOStats | None = None,
         policy: str = "lru",
+        component: str | None = None,
     ) -> None:
         self.disk = disk if disk is not None else DiskManager(page_size=page_size)
         if pool is None:
             pool = BufferPool(
-                self.disk, capacity_bytes=buffer_bytes, stats=stats, policy=policy
+                self.disk,
+                capacity_bytes=buffer_bytes,
+                stats=stats,
+                policy=policy,
+                component=component,
             )
         self.pool = pool
         self._page_of: dict[Hashable, int] = {}

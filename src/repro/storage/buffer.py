@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.obs import tracing
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 from repro.storage.stats import IOStats
@@ -39,6 +40,7 @@ class BufferPool:
         capacity_bytes: int = DEFAULT_BUFFER_BYTES,
         stats: IOStats | None = None,
         policy: str = "lru",
+        component: str | None = None,
     ) -> None:
         frames = capacity_bytes // disk.page_size
         if frames < 1:
@@ -62,6 +64,11 @@ class BufferPool:
         # the module docstring.
         self._lock = threading.Lock()
         self.stats = stats if stats is not None else IOStats()
+        # Span-accounting key: a physical read is charged to the active
+        # trace span as "<component>_pages" ("network", "index",
+        # "middle").  None = unattributed pool (unit tests).
+        self.component = component
+        self._miss_key = f"{component}_pages" if component else None
 
     @property
     def frame_count(self) -> int:
@@ -90,6 +97,8 @@ class BufferPool:
                 return page
             page = self._disk.read(page_id)
             self.stats.record_read(hit=False)
+            if self._miss_key is not None:
+                tracing.record(self._miss_key)
             if len(self._resident) >= self._frames:
                 self._evict()
             self._resident[page_id] = page
