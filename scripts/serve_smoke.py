@@ -225,7 +225,7 @@ def main() -> int:
             if len(statuses) != CONCURRENT_QUERIES:
                 raise SystemExit(
                     f"only {len(statuses)}/{CONCURRENT_QUERIES} "
-                    f"requests completed"
+                    "requests completed"
                 )
             ok = sum(1 for s in statuses if s == 200)
             print(f"smoke: {len(statuses)} requests, {ok} × 200, no 5xx")

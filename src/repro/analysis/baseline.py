@@ -1,0 +1,112 @@
+"""Findings baseline: a reviewed debt ledger.
+
+A baseline file lets the CI gate fail on *new* findings only while an
+existing violation is being paid down.  Entries are keyed by a content
+fingerprint — ``sha1(rule_id | path | stripped source line | n)``
+where ``n`` disambiguates identical lines in one file — so ordinary
+edits elsewhere in the file (which shift line numbers) do not
+invalidate the baseline, but editing the offending line itself does.
+
+The repo's checked-in baseline is *empty* by design (see ISSUE/PR 4:
+the tree lints clean); the mechanism exists for future migrations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable
+
+from repro.analysis.walker import Finding
+
+VERSION = 1
+DEFAULT_PATH = "lint-baseline.json"
+
+
+def _source_line(lines_by_path: dict[str, list[str]], finding: Finding) -> str:
+    lines = lines_by_path.get(finding.path, [])
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprints(
+    findings: Iterable[Finding],
+    lines_by_path: dict[str, list[str]],
+) -> dict[Finding, str]:
+    """Stable fingerprint per finding (order-independent)."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: dict[Finding, str] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        content = _source_line(lines_by_path, finding)
+        key = (finding.rule_id, _relpath(finding.path), content)
+        counter = seen.get(key, 0)
+        seen[key] = counter + 1
+        digest = hashlib.sha1(
+            "|".join((*key, str(counter))).encode("utf-8")
+        ).hexdigest()
+        out[finding] = digest
+    return out
+
+
+def _relpath(path: str) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - cross-drive on win32
+        return path
+    return rel.replace(os.sep, "/")
+
+
+def load(path: str) -> set[str]:
+    """The fingerprints recorded in a baseline file (empty if absent)."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}; expected {VERSION}"
+        )
+    return set(payload.get("findings", {}))
+
+
+def save(
+    path: str,
+    findings: Iterable[Finding],
+    lines_by_path: dict[str, list[str]],
+) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    prints = fingerprints(findings, lines_by_path)
+    entries = {
+        digest: {
+            "rule_id": finding.rule_id,
+            "path": _relpath(finding.path),
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding, digest in prints.items()
+    }
+    payload = {"version": VERSION, "findings": dict(sorted(entries.items()))}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def filter_new(
+    findings: list[Finding],
+    baseline_prints: set[str],
+    lines_by_path: dict[str, list[str]],
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined-count)."""
+    if not baseline_prints:
+        return findings, 0
+    prints = fingerprints(findings, lines_by_path)
+    fresh = [
+        finding
+        for finding in findings
+        if prints[finding] not in baseline_prints
+    ]
+    return fresh, len(findings) - len(fresh)

@@ -1,0 +1,376 @@
+"""Static lock-order analysis (``REPRO-ORDER01``).
+
+Builds a *lock-acquisition graph* over the whole tree:
+
+* **Lock identities** come from assignments of ``threading.Lock()``,
+  ``RLock()``, ``Condition()``, ``Semaphore()`` or the repo's own
+  :class:`~repro.concurrency.ReadWriteLock` to ``self.<attr>`` (keyed
+  ``module.Class.attr``) or to a module-level name (``module.name``).
+* **Edges** ``A -> B`` mean "B is acquired while A is held", found two
+  ways: a ``with`` on B nested statically inside a ``with`` on A, and
+  *call-through* — while holding A the function calls a same-module
+  method whose transitive closure acquires B (computed by fixpoint).
+* **Self-edges are dropped**: both :class:`threading.RLock` and the
+  repo's ReadWriteLock are reentrant by design.
+
+Any strongly-connected component of two or more locks is a potential
+deadlock — two threads taking the component's locks in different
+orders can wait on each other forever — and is reported with a
+``file:line`` witness per edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.rules import Rule, register
+from repro.analysis.walker import (
+    Finding,
+    ModuleInfo,
+    dotted_name,
+    enclosing_class,
+    enclosing_function,
+)
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "ReadWriteLock",
+    }
+)
+
+#: with-item context-manager method calls that acquire the receiver.
+_CONTEXT_METHODS = frozenset(
+    {"write_locked", "read_locked", "reading", "mutating"}
+)
+
+
+@dataclass
+class _Acquisition:
+    lock: str
+    path: str
+    line: int
+    held: tuple[str, ...]  # locks statically held at this point
+
+
+@dataclass
+class _CallSite:
+    callee_keys: tuple[tuple[str, str | None, str], ...]
+    path: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class _FunctionFacts:
+    key: tuple[str, str | None, str]  # (module, class, function)
+    acquisitions: list[_Acquisition] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+
+
+class _LockIndex:
+    """Resolves lock expressions to stable identities."""
+
+    def __init__(self) -> None:
+        self.by_owner: dict[tuple[str, str | None, str], str] = {}
+        self.by_attr: dict[str, set[str]] = {}
+        self.definitions: dict[str, tuple[str, int]] = {}
+
+    def define(
+        self,
+        module: str,
+        klass: str | None,
+        attr: str,
+        path: str,
+        line: int,
+    ) -> None:
+        lock_id = (
+            f"{module}.{klass}.{attr}" if klass else f"{module}.{attr}"
+        )
+        self.by_owner[(module, klass, attr)] = lock_id
+        self.by_attr.setdefault(attr, set()).add(lock_id)
+        self.definitions.setdefault(lock_id, (path, line))
+
+    def resolve(
+        self, module: str, klass: str | None, expr: ast.expr
+    ) -> str | None:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and len(parts) == 2:
+            exact = self.by_owner.get((module, klass, parts[1]))
+            if exact:
+                return exact
+            candidates = self.by_attr.get(parts[1], set())
+            if len(candidates) == 1:
+                return next(iter(candidates))
+            return None
+        if len(parts) == 1:
+            return self.by_owner.get((module, None, parts[0]))
+        return None
+
+
+def _lock_expr(expr: ast.expr) -> ast.expr | None:
+    """The receiver whose lock a with-item takes, if any.
+
+    ``self._lock`` -> itself; ``self._rwlock.write_locked()`` ->
+    ``self._rwlock``; ``self.workspace.mutating()`` ->
+    ``self.workspace`` (resolved further by call-through if the
+    receiver is not itself a lock).
+    """
+    if isinstance(expr, ast.Call):
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _CONTEXT_METHODS
+        ):
+            return expr.func.value
+        return None
+    if isinstance(expr, (ast.Attribute, ast.Name)):
+        return expr
+    return None
+
+
+def _collect_lock_defs(info: ModuleInfo, index: _LockIndex) -> None:
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and (
+                (
+                    isinstance(value.func, ast.Attribute)
+                    and value.func.attr in _LOCK_CONSTRUCTORS
+                )
+                or (
+                    isinstance(value.func, ast.Name)
+                    and value.func.id in _LOCK_CONSTRUCTORS
+                )
+            )
+        ):
+            continue
+        for target in node.targets:
+            dotted = dotted_name(target)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "self" and len(parts) == 2:
+                klass = enclosing_class(node)
+                if klass is not None:
+                    index.define(
+                        info.module,
+                        klass.name,
+                        parts[1],
+                        info.path,
+                        node.lineno,
+                    )
+            elif len(parts) == 1 and enclosing_function(node) is None:
+                index.define(
+                    info.module, None, parts[0], info.path, node.lineno
+                )
+
+
+def _callee_keys(
+    info: ModuleInfo, klass: str | None, call: ast.Call
+) -> tuple[tuple[str, str | None, str], ...]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return ((info.module, None, func.id),)
+    if isinstance(func, ast.Attribute):
+        receiver = dotted_name(func.value)
+        if receiver == "self" and klass is not None:
+            return (
+                (info.module, klass, func.attr),
+                (info.module, None, func.attr),
+            )
+    return ()
+
+
+def _collect_function_facts(
+    info: ModuleInfo, index: _LockIndex
+) -> list[_FunctionFacts]:
+    facts: list[_FunctionFacts] = []
+
+    def visit_function(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, klass: str | None
+    ) -> None:
+        record = _FunctionFacts(key=(info.module, klass, func.name))
+        facts.append(record)
+
+        def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # nested defs get their own facts
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in node.items:
+                    expr = _lock_expr(item.context_expr)
+                    if expr is None:
+                        continue
+                    lock = index.resolve(info.module, klass, expr)
+                    if lock is None:
+                        continue
+                    record.acquisitions.append(
+                        _Acquisition(lock, info.path, node.lineno, inner)
+                    )
+                    inner = inner + (lock,)
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.Call):
+                keys = _callee_keys(info, klass, node)
+                if keys:
+                    record.calls.append(
+                        _CallSite(keys, info.path, node.lineno, held)
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in func.body:
+            visit(stmt, ())
+
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            klass = enclosing_class(node)
+            visit_function(node, klass.name if klass else None)
+    return facts
+
+
+@register
+class LockOrderCycle(Rule):
+    """The global lock-acquisition graph must be acyclic."""
+
+    id = "REPRO-ORDER01"
+    summary = (
+        "cycle in the static lock-acquisition graph (lock B taken "
+        "while holding A on one path, A while holding B on another); "
+        "two threads interleaving those paths deadlock"
+    )
+    scope = "project"
+
+    def check_project(
+        self, modules: list[ModuleInfo]
+    ) -> Iterator[Finding]:
+        index = _LockIndex()
+        for info in modules:
+            _collect_lock_defs(info, index)
+        facts: dict[tuple[str, str | None, str], _FunctionFacts] = {}
+        for info in modules:
+            for record in _collect_function_facts(info, index):
+                facts[record.key] = record
+
+        # Transitive lock closure per function, by fixpoint.
+        closure: dict[tuple[str, str | None, str], set[str]] = {
+            key: {a.lock for a in record.acquisitions}
+            for key, record in facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, record in facts.items():
+                acc = closure[key]
+                before = len(acc)
+                for call in record.calls:
+                    for callee in call.callee_keys:
+                        if callee in closure:
+                            acc |= closure[callee]
+                            break
+                if len(acc) != before:
+                    changed = True
+
+        # Edge set with one witness per (A, B) pair.
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+        def add_edge(a: str, b: str, path: str, line: int) -> None:
+            if a != b:  # reentrancy: self-edges are fine
+                edges.setdefault((a, b), (path, line))
+
+        for record in facts.values():
+            for acq in record.acquisitions:
+                for held in acq.held:
+                    add_edge(held, acq.lock, acq.path, acq.line)
+            for call in record.calls:
+                if not call.held:
+                    continue
+                acquired: set[str] = set()
+                for callee in call.callee_keys:
+                    if callee in closure:
+                        acquired = closure[callee]
+                        break
+                for lock in acquired:
+                    for held in call.held:
+                        add_edge(held, lock, call.path, call.line)
+
+        adjacency: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set())
+        for component in _sccs(adjacency):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle = " <-> ".join(sorted(component))
+            for (a, b), (path, line) in sorted(edges.items()):
+                if a in members and b in members:
+                    yield Finding(
+                        self.id,
+                        path,
+                        line,
+                        0,
+                        f"lock-order cycle [{cycle}]: {b} is acquired "
+                        f"here while {a} is held, and the reverse "
+                        "order exists on another path",
+                    )
+
+
+def _sccs(adjacency: dict[str, set[str]]) -> list[list[str]]:
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(adjacency.get(node, ()))
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                out.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return out

@@ -1,0 +1,82 @@
+"""Per-line suppression comments.
+
+A finding is suppressed by a comment on the same physical line::
+
+    network.neighbors(node)  # repro: ignore[REPRO-PAGE02] build-time walk
+
+``# repro: ignore[ID1,ID2]`` suppresses the named rules;
+``# repro: ignore`` (no bracket) suppresses every rule on the line.
+Trailing free text after the bracket is encouraged — a suppression is
+a reviewed exception and should say why.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines,
+so a ``# repro: ignore`` inside a string literal never suppresses
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.walker import Finding
+
+ALL_RULES = "*"
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-\s,]*)\])?"
+)
+
+
+def collect(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed there.
+
+    The sentinel :data:`ALL_RULES` inside the set means the blanket
+    form was used.  Unreadable sources yield an empty map (the parse
+    error is reported separately).
+    """
+    out: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return out
+    for line, text in comments:
+        match = _PATTERN.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[line] = frozenset({ALL_RULES})
+        else:
+            ids = frozenset(
+                part.strip() for part in rules.split(",") if part.strip()
+            )
+            out[line] = ids or frozenset({ALL_RULES})
+    return out
+
+
+def is_suppressed(
+    finding: Finding, suppressions: dict[int, frozenset[str]]
+) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return ALL_RULES in rules or finding.rule_id in rules
+
+
+def unused_suppressions(
+    suppressions: dict[int, frozenset[str]],
+    matched_lines: set[int],
+) -> list[int]:
+    """Lines whose suppression comment matched no finding.
+
+    Reported by the CLI as a warning so stale exceptions get cleaned
+    up rather than silently outliving the code they excused.
+    """
+    return sorted(line for line in suppressions if line not in matched_lines)

@@ -1,0 +1,267 @@
+"""Per-module facts the lint rules consume.
+
+One :class:`ModuleInfo` is built per linted file: the parsed AST (with
+parent back-references), the module's dotted name (derived from the
+package structure on disk, so the same loader works for ``src/repro``
+and for test fixture trees), an import-alias map for resolving call
+targets to fully-qualified names, and the :mod:`symtable` tables used
+to distinguish imported names from locals.
+
+Everything here is stdlib-only (``ast`` + ``symtable``); rules never
+import the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import symtable
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class ImportRecord:
+    """One import statement, resolved to absolute module names."""
+
+    line: int
+    module: str
+    toplevel: bool  # module-scope import (counts for cycle detection)
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed view of one source file."""
+
+    path: str
+    module: str  # dotted name, e.g. "repro.core.query"
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    table: symtable.SymbolTable | None
+    imports: list[ImportRecord] = field(default_factory=list)
+    # local alias -> fully qualified origin, e.g.
+    #   "tracing" -> "repro.obs.tracing"      (from repro.obs import tracing)
+    #   "record"  -> "repro.obs.tracing.record"
+    #   "np"      -> "numpy"                  (import numpy as np)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """First package component under the project root.
+
+        ``repro.core.query`` -> ``core``; the top-level module
+        ``repro.cli`` -> ``cli``; ``repro`` itself -> ``""``.
+        """
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.path)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully-qualified dotted name of an expression, if static.
+
+        ``tracing.record`` with ``from repro.obs import tracing`` in
+        scope resolves to ``repro.obs.tracing.record``; unresolvable
+        shapes (subscripts, calls, locals) return None.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+
+def attach_parents(tree: ast.Module) -> None:
+    """Give every node a ``.parent`` back-reference."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """The node's ancestor chain, innermost first."""
+    cursor = getattr(node, "parent", None)
+    while cursor is not None:
+        yield cursor
+        cursor = getattr(cursor, "parent", None)
+
+
+def enclosing_function(
+    node: ast.AST,
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for up in ancestors(node):
+        if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return up
+    return None
+
+
+def enclosing_class(node: ast.AST) -> ast.ClassDef | None:
+    for up in ancestors(node):
+        if isinstance(up, ast.ClassDef):
+            return up
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_terminal(node: ast.Call) -> str | None:
+    """The rightmost name of a call target (``x.y.z()`` -> ``z``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def literal_str(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def fstring_glob(node: ast.expr) -> str | None:
+    """An ``fnmatch`` glob for an f-string's possible values.
+
+    ``f"query.{self.name}"`` -> ``"query.*"``.  Returns None for
+    anything that is not a JoinedStr.
+    """
+    if not isinstance(node, ast.JoinedStr):
+        return None
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            # Escape glob metacharacters in the literal fragments.
+            parts.append(
+                value.value.replace("[", "[[]").replace("?", "[?]").replace("*", "[*]")
+            )
+        else:
+            parts.append("*")
+    return "".join(parts)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name from the package structure on disk.
+
+    Walks up while ``__init__.py`` exists, so
+    ``.../src/repro/core/query.py`` -> ``repro.core.query`` wherever
+    the tree is rooted (including fixture copies).
+    """
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    cursor = os.path.dirname(path)
+    while os.path.isfile(os.path.join(cursor, "__init__.py")):
+        parts.append(os.path.basename(cursor))
+        cursor = os.path.dirname(cursor)
+    if parts[0] == "__init__":
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def _record_imports(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        toplevel = isinstance(getattr(node, "parent", None), ast.Module)
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                info.imports.append(
+                    ImportRecord(node.lineno, alias.name, toplevel)
+                )
+                if alias.asname:
+                    info.aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.partition(".")[0]
+                    info.aliases.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against this module
+                base = info.module.split(".")
+                base = base[: len(base) - node.level]
+                module = ".".join(base + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if not module:
+                continue
+            info.imports.append(ImportRecord(node.lineno, module, toplevel))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.aliases[local] = f"{module}.{alias.name}"
+
+
+def load_module(path: str, module: str | None = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`.
+
+    Raises SyntaxError for unparseable sources — the driver reports
+    those as findings rather than crashing the run.
+    """
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    attach_parents(tree)
+    try:
+        table: symtable.SymbolTable | None = symtable.symtable(
+            source, path, "exec"
+        )
+    except (SyntaxError, ValueError):  # pragma: no cover - parse succeeded
+        table = None
+    info = ModuleInfo(
+        path=path,
+        module=module or module_name_for(path),
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        table=table,
+    )
+    _record_imports(info)
+    return info
+
+
+def module_scope_names(info: ModuleInfo) -> set[str]:
+    """Names bound at module scope (via :mod:`symtable`).
+
+    Used by rules that must distinguish a module-level lock object
+    from an instance attribute of the same name.
+    """
+    if info.table is None:
+        return set()
+    return {symbol.get_name() for symbol in info.table.get_symbols()}

@@ -14,7 +14,9 @@ Installed as the ``repro`` console script (also runnable as
 * ``serve``      — long-running concurrent HTTP query server (also
   installed as the ``repro-serve`` console script);
 * ``experiment`` — regenerate the paper's figures (thin wrapper around
-  ``python -m repro.experiments``).
+  ``python -m repro.experiments``);
+* ``lint``       — run the repo's own architecture & concurrency
+  linter (:mod:`repro.analysis`; also ``python -m repro.analysis``).
 
 Example session::
 
@@ -157,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--trials", type=int, default=5)
     experiment.add_argument("--scale", type=float, default=0.10)
     experiment.add_argument("--quick", action="store_true")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the architecture & concurrency linter (repro.analysis)",
+        add_help=False,  # --help flows through to the lint parser
+    )
+    lint.add_argument("rest", nargs=argparse.REMAINDER)
 
     return parser
 
@@ -348,6 +357,12 @@ def _cmd_serve(args) -> int:
     return run_serve(args)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.rest)
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -364,6 +379,13 @@ def _cmd_experiment(args) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # argparse.REMAINDER refuses a leading flag (`repro lint --list-rules`),
+    # so the lint subcommand is dispatched before parsing.
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -373,6 +395,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "route": _cmd_route,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,4 +1,4 @@
-"""Snapshot isolation between queries and mutations.
+"""Concurrency primitives shared across the layer stack.
 
 One :class:`ReadWriteLock` per :class:`~repro.core.query.Workspace`
 separates the two kinds of work the serving layer interleaves:
@@ -24,7 +24,11 @@ holding the read side) are not supported and will deadlock; mutate
 from outside any reading block.
 
 This module deliberately imports nothing from the rest of the library
-so the core layer can use it without a dependency cycle.
+(stdlib ``threading`` only) and sits at the very bottom of the layer
+DAG, so :class:`~repro.core.query.Workspace` and the serving layer can
+share the lock without a dependency cycle.  It used to live at
+``repro.service.snapshot``; :mod:`repro.service` still re-exports
+:class:`ReadWriteLock` for compatibility.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ once per dataset and reused across many queries — exactly how the
 paper's experiments amortise their setup.
 
 Concurrency: a workspace carries a readers-writer lock
-(:class:`~repro.service.snapshot.ReadWriteLock`).  Query executions
+(:class:`~repro.concurrency.ReadWriteLock`).  Query executions
 take the shared side via :meth:`Workspace.reading`; the mutation
 methods below take the exclusive side (via :meth:`Workspace.mutating`),
 coalesce the engine invalidation hooks to fire exactly once per
@@ -29,6 +29,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
+from repro.concurrency import ReadWriteLock
 from repro.engine import DEFAULT_BACKEND, DistanceEngine
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree
 from repro.network.graph import NetworkLocation, RoadNetwork
@@ -65,10 +66,6 @@ class Workspace:
         if self.metrics is None:
             self.metrics = MetricRegistry()
         self._register_metrics()
-        # Imported here, not at module level: repro.service sits above
-        # repro.core, and snapshot.py is its one dependency-free module.
-        from repro.service.snapshot import ReadWriteLock
-
         self._rwlock = ReadWriteLock()
         self._version = 0
 

@@ -117,7 +117,9 @@ def delaunay_road_network(
         raise ValueError(f"edge/node ratio must be >= 1, got {edge_node_ratio}")
     lo, hi = detour_jitter
     if not 1.0 <= lo <= hi:
-        raise ValueError(f"detour_jitter must satisfy 1 <= lo <= hi, got {detour_jitter}")
+        raise ValueError(
+            f"detour_jitter must satisfy 1 <= lo <= hi, got {detour_jitter}"
+        )
     if not 0.0 <= short_extra_share <= 1.0:
         raise ValueError(
             f"short_extra_share must be in [0, 1], got {short_extra_share}"

@@ -30,7 +30,11 @@ from repro.experiments.harness import (
 DEFAULT_Q_SWEEP = (2, 4, 6, 8, 10, 15)
 """Subsample of the paper's |Q| = 1..15 sweep (full range supported)."""
 
-PAPER_ALGORITHMS = (CollaborativeExpansion, EuclideanDistanceConstraint, LowerBoundConstraint)
+PAPER_ALGORITHMS = (
+    CollaborativeExpansion,
+    EuclideanDistanceConstraint,
+    LowerBoundConstraint,
+)
 
 
 @dataclass
@@ -45,7 +49,9 @@ class FigureSeries:
     series: dict[str, list[float]] = field(default_factory=dict)
     aggregates: dict[tuple, AggregateStats] = field(default_factory=dict)
 
-    def add_point(self, x, per_algorithm: dict[str, AggregateStats], metric: str) -> None:
+    def add_point(
+        self, x, per_algorithm: dict[str, AggregateStats], metric: str
+    ) -> None:
         self.x_values.append(x)
         for name, aggregate in per_algorithm.items():
             self.series.setdefault(name, []).append(aggregate.metric(metric))
@@ -86,7 +92,8 @@ def run_fig4a(
     base = base or ExperimentConfig()
     points = [(q, base.with_(query_count=q)) for q in q_values]
     return _sweep(
-        "Fig4a", "Candidate ratio vs |Q|", "|Q|", "|C|/|D|", "candidate_ratio", points, cache
+        "Fig4a", "Candidate ratio vs |Q|", "|Q|", "|C|/|D|",
+        "candidate_ratio", points, cache,
     )
 
 
@@ -99,7 +106,8 @@ def run_fig4b(
     base = base or ExperimentConfig()
     points = [(omega, base.with_(omega=omega)) for omega in omega_values]
     return _sweep(
-        "Fig4b", "Candidate ratio vs ω", "ω", "|C|/|D|", "candidate_ratio", points, cache
+        "Fig4b", "Candidate ratio vs ω", "ω", "|C|/|D|",
+        "candidate_ratio", points, cache,
     )
 
 
@@ -155,7 +163,9 @@ def run_fig5(
         y_label="seconds (wall + modeled I/O)",
     )
     for name in networks:
-        per_algorithm = run_experiment(base.with_(network=name), _algorithms(), cache=cache)
+        per_algorithm = run_experiment(
+            base.with_(network=name), _algorithms(), cache=cache
+        )
         pages.add_point(name, per_algorithm, "network_pages")
         total.add_point(name, per_algorithm, "modeled_total_s")
         initial.add_point(name, per_algorithm, "modeled_initial_s")
@@ -173,16 +183,21 @@ def run_fig6_q(
     """Figures 6(a)-(c): pages, total and initial response vs |Q|."""
     base = base or ExperimentConfig()
     pages = FigureSeries(
-        figure="Fig6a", title="Network disk pages vs |Q|", x_label="|Q|", y_label="network pages"
+        figure="Fig6a", title="Network disk pages vs |Q|",
+        x_label="|Q|", y_label="network pages",
     )
     total = FigureSeries(
-        figure="Fig6b", title="Total response time vs |Q|", x_label="|Q|", y_label="seconds (wall + modeled I/O)"
+        figure="Fig6b", title="Total response time vs |Q|",
+        x_label="|Q|", y_label="seconds (wall + modeled I/O)",
     )
     initial = FigureSeries(
-        figure="Fig6c", title="Initial response time vs |Q|", x_label="|Q|", y_label="seconds (wall + modeled I/O)"
+        figure="Fig6c", title="Initial response time vs |Q|",
+        x_label="|Q|", y_label="seconds (wall + modeled I/O)",
     )
     for q in q_values:
-        per_algorithm = run_experiment(base.with_(query_count=q), _algorithms(), cache=cache)
+        per_algorithm = run_experiment(
+            base.with_(query_count=q), _algorithms(), cache=cache
+        )
         pages.add_point(q, per_algorithm, "network_pages")
         total.add_point(q, per_algorithm, "modeled_total_s")
         initial.add_point(q, per_algorithm, "modeled_initial_s")
@@ -197,16 +212,21 @@ def run_fig6_omega(
     """Figures 6(d)-(f): pages, total and initial response vs ω."""
     base = base or ExperimentConfig()
     pages = FigureSeries(
-        figure="Fig6d", title="Network disk pages vs ω", x_label="ω", y_label="network pages"
+        figure="Fig6d", title="Network disk pages vs ω",
+        x_label="ω", y_label="network pages",
     )
     total = FigureSeries(
-        figure="Fig6e", title="Total response time vs ω", x_label="ω", y_label="seconds (wall + modeled I/O)"
+        figure="Fig6e", title="Total response time vs ω",
+        x_label="ω", y_label="seconds (wall + modeled I/O)",
     )
     initial = FigureSeries(
-        figure="Fig6f", title="Initial response time vs ω", x_label="ω", y_label="seconds (wall + modeled I/O)"
+        figure="Fig6f", title="Initial response time vs ω",
+        x_label="ω", y_label="seconds (wall + modeled I/O)",
     )
     for omega in omega_values:
-        per_algorithm = run_experiment(base.with_(omega=omega), _algorithms(), cache=cache)
+        per_algorithm = run_experiment(
+            base.with_(omega=omega), _algorithms(), cache=cache
+        )
         pages.add_point(omega, per_algorithm, "network_pages")
         total.add_point(omega, per_algorithm, "modeled_total_s")
         initial.add_point(omega, per_algorithm, "modeled_initial_s")

@@ -63,7 +63,9 @@ class _Leaf(_Node):
 class BPlusTree(Generic[K, V]):
     """An in-memory B+-tree with simulated-disk accounting."""
 
-    def __init__(self, order: int = DEFAULT_ORDER, pager: NodePager | None = None) -> None:
+    def __init__(
+        self, order: int = DEFAULT_ORDER, pager: NodePager | None = None
+    ) -> None:
         if order < 3:
             raise ValueError(f"order must be at least 3, got {order}")
         self._order = order

@@ -440,7 +440,9 @@ class RTree:
         counter = 0
         root_mbr = self._root.mbr()
         heap: list[tuple[float, int, MBR, Any, bool]] = []
-        heapq.heappush(heap, (key(root_mbr, None), counter, root_mbr, self._root, False))
+        heapq.heappush(
+            heap, (key(root_mbr, None), counter, root_mbr, self._root, False)
+        )
         while heap:
             value, _, mbr, item, is_data = heapq.heappop(heap)
             if prune is not None and prune(mbr, item if is_data else None):
@@ -493,7 +495,8 @@ class RTree:
 
         def recurse(node: _RTreeNode, depth: int) -> None:
             nonlocal seen
-            if node is not self._root and not self._min <= len(node.entries) <= self._max:
+            entry_count = len(node.entries)
+            if node is not self._root and not self._min <= entry_count <= self._max:
                 raise AssertionError(
                     f"node fill {len(node.entries)} outside "
                     f"[{self._min}, {self._max}]"

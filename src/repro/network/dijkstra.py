@@ -112,7 +112,8 @@ class DijkstraExpander:
             if self.placements is not None:
                 for placement in self._probe(edge_id):
                     self._offer_object(
-                        placement.obj, dist + placement.distance_from(node, self.network)
+                        placement.obj,
+                        dist + placement.distance_from(node, self.network),
                     )
             if neighbor in self.settled:
                 continue

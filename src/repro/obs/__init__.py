@@ -29,6 +29,15 @@ from repro.obs.metrics import (
     MetricRegistry,
     parse_prometheus_text,
 )
+from repro.obs.names import (
+    COUNTER_KEYS,
+    METRIC_FAMILIES,
+    SPAN_NAME_PATTERNS,
+    SPAN_NAMES,
+    is_registered_counter_key,
+    is_registered_metric_family,
+    is_registered_span_name,
+)
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tracing import (
     Span,
@@ -42,9 +51,16 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "COUNTER_KEYS",
     "DEFAULT_LATENCY_BUCKETS",
+    "METRIC_FAMILIES",
     "MetricFamily",
     "MetricRegistry",
+    "SPAN_NAMES",
+    "SPAN_NAME_PATTERNS",
+    "is_registered_counter_key",
+    "is_registered_metric_family",
+    "is_registered_span_name",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",

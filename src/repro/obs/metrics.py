@@ -394,7 +394,8 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
             sample_name, labels, value = _parse_sample(line, lineno)
             base = sample_name
             for suffix in ("_bucket", "_sum", "_count"):
-                if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                base_name = sample_name[: -len(suffix)]
+                if sample_name.endswith(suffix) and base_name in families:
                     base = sample_name[: -len(suffix)]
                     break
             if base not in families:

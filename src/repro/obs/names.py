@@ -1,0 +1,129 @@
+"""The registered telemetry vocabulary: span names, counter keys,
+metric families.
+
+``/metricsz`` scraping, ``repro trace`` rendering and the
+QueryStats-vs-trace reconciliation tests all assume a *fixed* set of
+names: a span or counter key that exists only at one call site is a
+signal nothing downstream knows how to read.  This module is the
+single place a name is minted; the static-analysis rules
+``REPRO-TELE01``..``REPRO-TELE03`` (:mod:`repro.analysis`) enforce at
+lint time that every literal name passed to
+:func:`repro.obs.tracing.record`, :func:`repro.obs.tracing.span` and
+the :class:`~repro.obs.metrics.MetricRegistry` registration methods is
+drawn from here.
+
+Two shapes of entry exist:
+
+* exact names — ``frozenset`` members matched verbatim;
+* patterns — ``fnmatch``-style globs for the name families that embed
+  a runtime component (``query.<algorithm>``, ``request.<algorithm>``,
+  per-pool page counters).
+
+Keep this module dependency-free (stdlib only): the linter imports it
+at lint time, and ``obs`` sits at the bottom of the layer DAG.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+SPAN_NAMES = frozenset(
+    {
+        # Batch execution (repro.service.batching)
+        "batch.warm",
+        # Engine batch APIs (repro.engine.engine)
+        "engine.matrix",
+        "engine.vectors",
+        # CE phases (repro.core.ce)
+        "ce.filter",
+        "ce.refine",
+        # EDC phases (repro.core.edc)
+        "edc.euclidean",
+        "edc.shift",
+        "edc.window",
+        "edc.refine",
+        "edc.closure",
+        "edc.stream",
+        # LBC phases (repro.core.lbc)
+        "lbc.stream",
+        "lbc.resolve",
+    }
+)
+"""Exact span names a trace tree may contain."""
+
+SPAN_NAME_PATTERNS = (
+    # One root span per algorithm run (repro.core.base).
+    "query.*",
+    # One admission span per service request (repro.service.service).
+    "request.*",
+)
+"""Glob patterns for span-name families with a runtime component."""
+
+COUNTER_KEYS = frozenset(
+    {
+        # Wavefront work (repro.network.dijkstra / astar)
+        "nodes_settled",
+        # Distance-function invocations (core algorithms)
+        "distance_computations",
+        # LBC lower-bound search expansions (repro.core.lbc)
+        "lb_expansions",
+        # Distance-memo outcomes (repro.engine.cache)
+        "engine_hits",
+        "engine_misses",
+        "engine_evictions",
+        # Per-index node visits (repro.index)
+        "bptree_nodes",
+        "rtree_nodes",
+        # Physical page misses per buffer pool; minted per-component in
+        # repro.storage.buffer as f"{component}_pages".
+        "network_pages",
+        "index_pages",
+        "middle_pages",
+    }
+)
+"""Exact counter keys :func:`repro.obs.tracing.record` may charge."""
+
+COUNTER_KEY_PATTERNS = ()
+"""Glob patterns for counter-key families (none today)."""
+
+METRIC_FAMILIES = frozenset(
+    {
+        # Workspace-level callback bridges (repro.core.query)
+        "repro_buffer_reads_total",
+        "repro_buffer_hit_ratio",
+        "repro_engine_memo_events_total",
+        "repro_engine_nodes_settled_total",
+        "repro_engine_memo_entries",
+        "repro_workspace_objects",
+        "repro_workspace_version",
+        # Serving layer (repro.service.service)
+        "repro_service_requests_total",
+        "repro_service_queue_depth",
+        "repro_service_active_keys",
+        "repro_service_batches_total",
+        "repro_service_mutations_total",
+        "repro_service_slow_queries_total",
+        "repro_service_request_latency_seconds",
+        "repro_service_batch_size",
+    }
+)
+"""Every Prometheus metric family ``/metricsz`` may expose."""
+
+
+def is_registered_span_name(name: str) -> bool:
+    """True when ``name`` is in the registered span vocabulary."""
+    return name in SPAN_NAMES or any(
+        fnmatchcase(name, pattern) for pattern in SPAN_NAME_PATTERNS
+    )
+
+
+def is_registered_counter_key(key: str) -> bool:
+    """True when ``key`` is in the registered counter vocabulary."""
+    return key in COUNTER_KEYS or any(
+        fnmatchcase(key, pattern) for pattern in COUNTER_KEY_PATTERNS
+    )
+
+
+def is_registered_metric_family(name: str) -> bool:
+    """True when ``name`` is a registered Prometheus family."""
+    return name in METRIC_FAMILIES

@@ -67,7 +67,9 @@ class Span:
         "children",
     )
 
-    def __init__(self, name: str, parent: "Span | None" = None, **attributes: Any) -> None:
+    def __init__(
+        self, name: str, parent: "Span | None" = None, **attributes: Any
+    ) -> None:
         self.name = name
         self.trace_id = parent.trace_id if parent is not None else _new_id()
         self.span_id = _new_id()
@@ -147,7 +149,10 @@ class Span:
         return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Span({self.name!r}, counts={self.counts}, children={len(self.children)})"
+        return (
+            f"Span({self.name!r}, counts={self.counts}, "
+            f"children={len(self.children)})"
+        )
 
 
 # -- ambient-context helpers ------------------------------------------

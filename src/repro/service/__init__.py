@@ -7,8 +7,9 @@ Turns the single-query library into a long-running server:
 * :class:`~repro.service.batching.BatchPlanner` — groups in-flight
   requests by shared query points so co-located requests reuse
   engine wavefronts across requests, not just within one;
-* :class:`~repro.service.snapshot.ReadWriteLock` — snapshot isolation
-  between queries (shared side) and mutations (exclusive side);
+* :class:`~repro.concurrency.ReadWriteLock` (re-exported) — snapshot
+  isolation between queries (shared side) and mutations (exclusive
+  side);
 * :class:`~repro.service.http.ServiceHTTPServer` — stdlib JSON
   endpoint with ``/healthz`` and ``/statsz`` (the ``repro-serve``
   entry point).
@@ -43,7 +44,7 @@ from repro.service.service import (
     PendingQuery,
     QueryService,
 )
-from repro.service.snapshot import ReadWriteLock
+from repro.concurrency import ReadWriteLock
 
 __all__ = [
     "BadRequest",

@@ -270,7 +270,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             raise BadRequest(
                 f"unknown op {op!r}; choose update_edge, add_object "
-                f"or remove_object"
+                "or remove_object"
             )
         self._send_json(
             200, {"ok": True, "workspace_version": service.workspace.version}

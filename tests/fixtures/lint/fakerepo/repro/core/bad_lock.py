@@ -1,0 +1,20 @@
+"""Seeded lock-discipline violations."""
+
+
+class BadWorkspace:
+    def add_object(self, obj):
+        self.objects.add(obj)  # EXPECT: REPRO-LOCK01
+
+    def reindex(self, obj):
+        self.object_rtree.insert_point(obj.object_id, obj.point)  # EXPECT: REPRO-LOCK01
+
+
+def risky(lock):
+    lock.acquire()  # EXPECT: REPRO-LOCK02
+    value = compute()
+    lock.release()
+    return value
+
+
+def compute():
+    return 42

@@ -1,0 +1,13 @@
+"""Seeded page-accounting violations in an algorithm layer."""
+
+from repro.network.dijkstra import DijkstraExpander
+
+
+def walk(network, node):
+    frontier = network.neighbors(node)  # EXPECT: REPRO-PAGE01
+    adj = network._adjacency  # EXPECT: REPRO-PAGE01
+    return frontier, adj
+
+
+def adhoc(network, store, source):
+    return DijkstraExpander(network, store, source)  # EXPECT: REPRO-PAGE03

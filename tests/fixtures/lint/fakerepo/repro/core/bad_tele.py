@@ -1,0 +1,13 @@
+"""Seeded telemetry-vocabulary violations."""
+
+from repro.obs import tracing
+
+
+def run():
+    tracing.record("nodes_setled")  # EXPECT: REPRO-TELE01
+    with tracing.span("warmup.phase"):  # EXPECT: REPRO-TELE02
+        return None
+
+
+def register(registry):
+    registry.counter("repro_bogus_total", "a family nobody scrapes")  # EXPECT: REPRO-TELE03

@@ -1,0 +1,9 @@
+"""A violation excused by a per-line suppression comment."""
+
+
+def walk(network, node):
+    return network.neighbors(node)  # repro: ignore[REPRO-PAGE01] fixture
+
+
+def walk_blanket(network, node):
+    return network.neighbors(node)  # repro: ignore

@@ -1,0 +1,3 @@
+"""A stale suppression that matches no finding."""
+
+VALUE = 1  # repro: ignore[REPRO-PAGE01]

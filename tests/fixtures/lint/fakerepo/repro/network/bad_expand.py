@@ -1,0 +1,8 @@
+"""Seeded store-less expander: traversal with no page charge."""
+
+
+def collect_edges(network, node):
+    out = []
+    for _, edge_id in network.neighbors(node):  # EXPECT: REPRO-PAGE02
+        out.append(edge_id)
+    return out

@@ -1,0 +1,9 @@
+"""Half of a seeded module-level import cycle."""
+
+import repro.network.loop_b  # EXPECT: REPRO-ARCH02
+
+VALUE_A = 1
+
+
+def read_b():
+    return repro.network.loop_b.VALUE_B

@@ -1,0 +1,9 @@
+"""Other half of the seeded import cycle."""
+
+import repro.network.loop_a  # EXPECT: REPRO-ARCH02
+
+VALUE_B = 2
+
+
+def read_a():
+    return repro.network.loop_a.VALUE_A

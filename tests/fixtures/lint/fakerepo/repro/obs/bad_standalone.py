@@ -1,0 +1,7 @@
+"""Seeded foundation leak: obs importing a sibling package."""
+
+from repro.network import graph  # EXPECT: REPRO-ARCH01,REPRO-ARCH03
+
+
+def peek(network):
+    return graph.node_count(network)

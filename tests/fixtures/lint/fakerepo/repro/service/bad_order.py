@@ -1,0 +1,20 @@
+"""Seeded two-lock ordering cycle: one() takes a then b, two() takes
+b then a — interleaved threads deadlock."""
+
+import threading
+
+
+class BadOrdering:
+    def __init__(self):
+        self._alock = threading.Lock()
+        self._block = threading.Lock()
+
+    def one(self):
+        with self._alock:
+            with self._block:  # EXPECT: REPRO-ORDER01
+                return 1
+
+    def two(self):
+        with self._block:
+            with self._alock:  # EXPECT: REPRO-ORDER01
+                return 2

@@ -1,0 +1,7 @@
+"""Seeded layering violation: storage reaching up into service."""
+
+from repro.service import QueryService  # EXPECT: REPRO-ARCH01
+
+
+def make_service(store):
+    return QueryService(store)

@@ -1,0 +1,24 @@
+"""Lock discipline done right."""
+
+
+class GoodWorkspace:
+    def add_object(self, obj):
+        with self.mutating():
+            self.objects.add(obj)
+            self.object_rtree.insert_point(obj.object_id, obj.point)
+
+    def mutating(self):
+        raise NotImplementedError
+
+
+def careful(lock):
+    lock.acquire()
+    try:
+        return 42
+    finally:
+        lock.release()
+
+
+def idiomatic(lock):
+    with lock:
+        return 42

@@ -1,0 +1,15 @@
+"""Telemetry calls drawn from the registered vocabulary."""
+
+from repro.obs import tracing
+
+
+def run(name):
+    tracing.record("nodes_settled")
+    with tracing.span("ce.filter"):
+        pass
+    with tracing.span(f"query.{name}"):
+        return None
+
+
+def register(registry):
+    registry.counter("repro_service_requests_total", "requests")

@@ -1,0 +1,6 @@
+"""Traversal that charges the store for every expanded node."""
+
+
+def expand(network, store, node):
+    store.touch_node(node)
+    return list(network.neighbors(node))

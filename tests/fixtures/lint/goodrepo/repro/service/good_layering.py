@@ -1,0 +1,9 @@
+"""Imports flowing strictly downward in the layer DAG."""
+
+from repro.core import Workspace
+from repro.obs import tracing
+
+
+def build(network, objects):
+    with tracing.span("request.build"):
+        return Workspace.build(network, objects)

@@ -1,0 +1,19 @@
+"""Two locks always taken in the same order: no cycle."""
+
+import threading
+
+
+class GoodOrdering:
+    def __init__(self):
+        self._alock = threading.Lock()
+        self._block = threading.Lock()
+
+    def one(self):
+        with self._alock:
+            with self._block:
+                return 1
+
+    def two(self):
+        with self._alock:
+            with self._block:
+                return 2

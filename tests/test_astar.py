@@ -15,12 +15,12 @@ from conftest import build_random_network, random_locations
 class TestAStarDistances:
     def test_tiny_network(self, tiny_network):
         expander = AStarExpander(tiny_network, tiny_network.location_at_node(0))
-        assert expander.distance_to(tiny_network.location_at_node(5)) == pytest.approx(1.5)
+        target = tiny_network.location_at_node(5)
+        assert expander.distance_to(target) == pytest.approx(1.5)
 
     def test_matches_dijkstra_on_random_pairs(self):
         for seed in range(4):
             network = build_random_network(60, 40, seed=seed, detour_max=1.2)
-            rng = random.Random(seed)
             source = random_locations(network, 1, seed=seed + 100)[0]
             astar = AStarExpander(network, source)
             dijkstra = DijkstraExpander(network, source)

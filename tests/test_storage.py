@@ -257,9 +257,6 @@ class TestReplacementPolicies:
 
     def test_lru_beats_fifo_on_skewed_access(self):
         """A hot page with cold scans: recency tracking must win."""
-        import random
-
-        rng = random.Random(7)
         disk = DiskManager()
         pages = [disk.allocate().page_id for _ in range(30)]
         results = {}
