@@ -30,6 +30,7 @@ ROOT = "repro"
 LAYERS: dict[str, int] = {
     "obs": 0,
     "concurrency": 0,
+    "profiling": 1,  # samples via obs only; never imports sampled code
     "geometry": 1,
     "storage": 2,
     "index": 3,
@@ -43,6 +44,7 @@ LAYERS: dict[str, int] = {
     "viz": 10,
     "experiments": 10,
     "analysis": 11,
+    "bench": 11,  # drives service + experiments; only the CLI is above
     "cli": 12,
 }
 

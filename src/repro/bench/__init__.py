@@ -1,0 +1,48 @@
+"""``repro.bench`` — the continuous-performance benchmark runner.
+
+The paper's whole evaluation is a cost trajectory: pages read and nodes
+settled for CE/EDC/LBC as network size, |Q| and density vary.  This
+package makes that trajectory a *maintained artifact* instead of a
+one-off table:
+
+* :mod:`repro.bench.suite` — a named, versioned catalogue of workloads
+  (algorithm x preset network x |Q| x warm/cold, plus a closed-loop
+  serving workload);
+* :mod:`repro.bench.runner` — executes a suite and emits a
+  schema-versioned ``BENCH_<rev>.json`` holding **deterministic cost
+  counters** (read off the tracing span tree, bit-identical run to
+  run) and **advisory wall-time percentiles** (environment-dependent,
+  never gated);
+* :mod:`repro.bench.compare` — compares two artifacts: hard failures
+  on deterministic-counter regressions, noise-tolerant warnings on
+  timings.  CI runs every push against the committed
+  ``benchmarks/baseline.json``.
+
+Run it as ``repro bench`` or ``python -m repro.bench``.
+"""
+
+from repro.bench.compare import ComparisonReport, compare_artifacts, format_report
+from repro.bench.runner import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_SCHEMA_VERSION,
+    CounterDrift,
+    default_artifact_name,
+    run_suite,
+    write_artifact,
+)
+from repro.bench.suite import SUITE_VERSION, SUITES, suite_workloads
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ComparisonReport",
+    "CounterDrift",
+    "SUITES",
+    "SUITE_VERSION",
+    "compare_artifacts",
+    "default_artifact_name",
+    "format_report",
+    "run_suite",
+    "suite_workloads",
+    "write_artifact",
+]

@@ -1,0 +1,174 @@
+"""Artifact comparison: hard counter gates, advisory timing checks.
+
+The split mirrors what each number *means*:
+
+* Deterministic counters (pages read, nodes settled, memo hits) are
+  properties of the algorithm, not the machine.  Any regression beyond
+  ``counter_tolerance`` (default: exactly zero slack) is a **failure**
+  — the comparator exits non-zero and CI goes red.
+* Wall timings depend on the runner's hardware and load.  Movement
+  beyond ``timing_tolerance`` (default 50 %) is a **warning** only; it
+  never affects the exit code.
+
+Structural rules:
+
+* schema/suite-version mismatch → failure (numbers across versions are
+  not comparable; refresh the baseline deliberately instead);
+* benchmark present in baseline but missing from current → warning
+  (coverage shrank — visible, not fatal, since suites evolve);
+* benchmark new in current → note;
+* counter key present in baseline but missing from current → failure
+  (a silently dropped counter would otherwise hide regressions).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Default relative slack on deterministic counters: none.
+DEFAULT_COUNTER_TOLERANCE = 0.0
+#: Default relative slack on advisory p50 timings: 50 %.
+DEFAULT_TIMING_TOLERANCE = 0.5
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a current artifact against a baseline."""
+
+    baseline_revision: str = ""
+    current_revision: str = ""
+    failures: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "baseline_revision": self.baseline_revision,
+            "current_revision": self.current_revision,
+            "failures": list(self.failures),
+            "warnings": list(self.warnings),
+            "notes": list(self.notes),
+        }
+
+
+def load_artifact(path: str) -> dict:
+    """Read and minimally validate a ``BENCH_*.json`` file."""
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict) or "benchmarks" not in artifact:
+        raise ValueError(f"{path} is not a repro-bench artifact")
+    return artifact
+
+
+def _by_id(artifact: dict) -> dict[str, dict]:
+    return {record["id"]: record for record in artifact.get("benchmarks", [])}
+
+
+def _relative_increase(base: float, current: float) -> float:
+    """Relative growth current vs base; ``inf`` when base is zero."""
+    if base == 0:
+        return float("inf") if current > 0 else 0.0
+    return (current - base) / base
+
+
+def compare_artifacts(
+    baseline: dict,
+    current: dict,
+    counter_tolerance: float = DEFAULT_COUNTER_TOLERANCE,
+    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+) -> ComparisonReport:
+    """Gate ``current`` against ``baseline``; see the module docstring."""
+    report = ComparisonReport(
+        baseline_revision=str(baseline.get("revision", "?")),
+        current_revision=str(current.get("revision", "?")),
+    )
+
+    for key in ("schema", "schema_version", "suite", "suite_version"):
+        if baseline.get(key) != current.get(key):
+            report.failures.append(
+                f"{key} mismatch: baseline={baseline.get(key)!r} "
+                f"current={current.get(key)!r} — artifacts are not "
+                f"comparable; refresh the baseline"
+            )
+    if report.failures:
+        return report
+
+    base_records = _by_id(baseline)
+    curr_records = _by_id(current)
+
+    for bench_id in sorted(set(base_records) - set(curr_records)):
+        report.warnings.append(
+            f"{bench_id}: in baseline but not in current run "
+            f"(coverage shrank)"
+        )
+    for bench_id in sorted(set(curr_records) - set(base_records)):
+        report.notes.append(
+            f"{bench_id}: new benchmark, no baseline to gate against"
+        )
+
+    for bench_id in sorted(set(base_records) & set(curr_records)):
+        base = base_records[bench_id]
+        curr = curr_records[bench_id]
+        base_counters = base.get("counters", {})
+        curr_counters = curr.get("counters", {})
+        for key in sorted(base_counters):
+            if key not in curr_counters:
+                report.failures.append(
+                    f"{bench_id}: counter {key!r} disappeared from "
+                    f"current artifact"
+                )
+                continue
+            base_value = base_counters[key]
+            curr_value = curr_counters[key]
+            growth = _relative_increase(base_value, curr_value)
+            if growth > counter_tolerance:
+                report.failures.append(
+                    f"{bench_id}: {key} regressed "
+                    f"{base_value} -> {curr_value} "
+                    f"(+{growth * 100:.1f}%, tolerance "
+                    f"{counter_tolerance * 100:.1f}%)"
+                )
+            elif curr_value < base_value:
+                report.notes.append(
+                    f"{bench_id}: {key} improved {base_value} -> {curr_value}"
+                )
+        base_p50 = base.get("timing_s", {}).get("p50")
+        curr_p50 = curr.get("timing_s", {}).get("p50")
+        if base_p50 is not None and curr_p50 is not None:
+            growth = _relative_increase(base_p50, curr_p50)
+            if growth > timing_tolerance:
+                report.warnings.append(
+                    f"{bench_id}: p50 wall time {base_p50:.4f}s -> "
+                    f"{curr_p50:.4f}s (+{growth * 100:.0f}%; advisory — "
+                    f"timings never gate)"
+                )
+    return report
+
+
+def format_report(report: ComparisonReport) -> str:
+    """Human-readable rendering, failures first."""
+    lines = [
+        f"bench compare: baseline {report.baseline_revision} "
+        f"vs current {report.current_revision}"
+    ]
+    for failure in report.failures:
+        lines.append(f"FAIL  {failure}")
+    for warning in report.warnings:
+        lines.append(f"WARN  {warning}")
+    for note in report.notes:
+        lines.append(f"note  {note}")
+    lines.append(
+        "RESULT: "
+        + (
+            "ok"
+            if report.ok
+            else f"{len(report.failures)} deterministic regression(s)"
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Suite execution and ``BENCH_*.json`` emission.
+
+The runner's contract splits every benchmark's record in two:
+
+* ``counters`` — deterministic cost figures (pages read per pool,
+  nodes settled, distance computations, memo hits, result sizes) read
+  off the per-query tracing span totals via
+  :class:`~repro.core.stats.QueryStats`.  The runner *verifies*
+  determinism as it goes: every timing repeat re-runs the workload and
+  any counter drift between repeats raises :class:`CounterDrift`
+  rather than silently averaging — a nondeterministic benchmark is a
+  bug, not a noisy measurement.
+* ``timing_s`` — wall-time min/mean/p50/max over the repeats.
+  Advisory only: the comparator warns on timing movement and never
+  fails on it.
+
+Warm points measure the *second* run after a cold reset (engine memo,
+wavefront pool and buffers populated by an unmeasured warming run), so
+"warm" is a pinned state rather than "whatever the previous workload
+left behind".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import replace
+
+from repro.core import CE, EDC, LBC, Workspace
+from repro.core.stats import QueryStats
+from repro.datasets import build_preset, extract_objects, select_query_points
+from repro.experiments.harness import ExperimentConfig, WorkloadCache
+from repro.bench.suite import (
+    QueryWorkload,
+    ServiceWorkload,
+    SUITE_VERSION,
+    Workload,
+    suite_workloads,
+)
+
+ARTIFACT_SCHEMA = "repro-bench"
+ARTIFACT_SCHEMA_VERSION = 1
+
+ALGORITHMS = {"CE": CE, "EDC": EDC, "LBC": LBC}
+
+#: The deterministic counter keys every benchmark record carries.
+COUNTER_KEYS = (
+    "nodes_settled",
+    "network_pages",
+    "index_pages",
+    "middle_pages",
+    "total_pages",
+    "distance_computations",
+    "lb_expansions",
+    "engine_hits",
+    "engine_misses",
+    "skyline_count",
+    "candidate_count",
+)
+
+
+class CounterDrift(AssertionError):
+    """A workload's counters differed between two repeats."""
+
+    def __init__(self, workload_id: str, first: dict, second: dict) -> None:
+        diffs = {
+            key: (first.get(key), second.get(key))
+            for key in sorted(set(first) | set(second))
+            if first.get(key) != second.get(key)
+        }
+        super().__init__(
+            f"nondeterministic counters in {workload_id}: {diffs}"
+        )
+        self.workload_id = workload_id
+        self.diffs = diffs
+
+
+def _counters_of(stats: QueryStats) -> dict[str, int]:
+    counters = {key: int(getattr(stats, key)) for key in COUNTER_KEYS}
+    return counters
+
+
+def _merge_counters(rows: list[dict[str, int]]) -> dict[str, int]:
+    out: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+    for row in rows:
+        for key, value in row.items():
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+def _timing_summary(samples: list[float]) -> dict[str, float]:
+    return {
+        "repeats": len(samples),
+        "min": round(min(samples), 6),
+        "mean": round(statistics.fmean(samples), 6),
+        "p50": round(statistics.median(samples), 6),
+        "max": round(max(samples), 6),
+    }
+
+
+def _run_query_workload(
+    workload: QueryWorkload, cache: WorkloadCache
+) -> tuple[dict[str, int], list[float]]:
+    config = ExperimentConfig(
+        network=workload.network,
+        scale=workload.scale,
+        omega=workload.omega,
+        query_count=workload.query_count,
+        query_seed=workload.query_seed,
+        distance_backend=workload.distance_backend,
+    )
+    workspace = cache.workspace(config)
+    queries = select_query_points(
+        workspace.network,
+        workload.query_count,
+        region_fraction=config.region_fraction,
+        seed=workload.query_seed,
+    )
+    algorithm = ALGORITHMS[workload.algorithm]()
+    counters: dict[str, int] | None = None
+    timings: list[float] = []
+    for _ in range(max(1, workload.repeats)):
+        workspace.reset_io(cold=True)
+        if workload.warm:
+            algorithm.run(workspace, queries)  # unmeasured warming run
+        started = time.perf_counter()
+        result = algorithm.run(workspace, queries)
+        timings.append(time.perf_counter() - started)
+        repeat_counters = _counters_of(result.stats)
+        if counters is None:
+            counters = repeat_counters
+        elif counters != repeat_counters:
+            raise CounterDrift(workload.workload_id, counters, repeat_counters)
+    assert counters is not None
+    return counters, timings
+
+
+def _run_service_workload(
+    workload: ServiceWorkload,
+) -> tuple[dict[str, int], list[float]]:
+    # The serving workload builds its own workspace (never the shared
+    # cache): a QueryService registers its metric families on the
+    # workspace registry, and two services over one workspace would
+    # collide there.
+    from repro.service.service import QueryService
+
+    network = build_preset(workload.network, scale=workload.scale)
+    objects = extract_objects(network, omega=workload.omega, seed=1)
+    counters: dict[str, int] | None = None
+    timings: list[float] = []
+    for _ in range(max(1, workload.repeats)):
+        workspace = Workspace.build(
+            network,
+            objects,
+            paged=True,
+            distance_backend=workload.distance_backend,
+        )
+        rows: list[dict[str, int]] = []
+        with QueryService(
+            workspace, workers=1, batch_window_s=0.0, max_batch=1
+        ) as service:
+            started = time.perf_counter()
+            for index in range(workload.requests):
+                queries = select_query_points(
+                    network,
+                    workload.query_count,
+                    region_fraction=0.10,
+                    seed=workload.query_seed + index,
+                )
+                result = service.query(workload.algorithm, queries)
+                rows.append(_counters_of(result.stats))
+            timings.append(time.perf_counter() - started)
+        repeat_counters = _merge_counters(rows)
+        repeat_counters["requests"] = workload.requests
+        if counters is None:
+            counters = repeat_counters
+        elif counters != repeat_counters:
+            raise CounterDrift(workload.workload_id, counters, repeat_counters)
+    assert counters is not None
+    return counters, timings
+
+
+def run_workload(
+    workload: Workload, cache: WorkloadCache
+) -> dict:
+    """Execute one workload; returns its artifact record."""
+    if isinstance(workload, QueryWorkload):
+        counters, timings = _run_query_workload(workload, cache)
+    else:
+        counters, timings = _run_service_workload(workload)
+    return {
+        "id": workload.workload_id,
+        "kind": workload.kind,
+        "params": workload.params(),
+        "counters": counters,
+        "timing_s": _timing_summary(timings),
+    }
+
+
+def current_revision() -> str:
+    """Identify this source tree: env override, then git, then unknown."""
+    rev = os.environ.get("REPRO_BENCH_REV")
+    if rev:
+        return rev
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def default_artifact_name(revision: str | None = None) -> str:
+    return f"BENCH_{revision or current_revision()}.json"
+
+
+def run_suite(
+    suite: str,
+    repeats: int | None = None,
+    revision: str | None = None,
+    progress=None,
+) -> dict:
+    """Run a named suite and return the artifact dictionary.
+
+    ``repeats`` overrides every workload's timing-repeat count (the CI
+    quick gate uses 1: counters don't need repetition to be exact, and
+    its timings are advisory anyway).  ``progress`` is an optional
+    ``callable(str)`` for line-by-line status output.
+    """
+    workloads = suite_workloads(suite)
+    cache = WorkloadCache()
+    records = []
+    for workload in workloads:
+        if repeats is not None:
+            workload = _with_repeats(workload, repeats)
+        record = run_workload(workload, cache)
+        if progress is not None:
+            timing = record["timing_s"]
+            progress(
+                f"{record['id']}: pages={record['counters']['total_pages']} "
+                f"nodes={record['counters']['nodes_settled']} "
+                f"p50={timing['p50']:.4f}s"
+            )
+        records.append(record)
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "suite": suite,
+        "suite_version": SUITE_VERSION,
+        "revision": revision or current_revision(),
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": records,
+    }
+
+
+def _with_repeats(workload: Workload, repeats: int) -> Workload:
+    return replace(workload, repeats=repeats)
+
+
+def write_artifact(artifact: dict, path: str) -> str:
+    """Write the artifact as stable, human-diffable JSON."""
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,166 @@
+"""The named, versioned workload catalogue.
+
+A workload is a frozen recipe: everything that determines its cost
+counters (preset, scale, ω, |Q|, seeds, warm/cold, backend) is pinned
+in the dataclass, so two runs of the same suite produce bit-identical
+counter sections.  ``SUITE_VERSION`` changes whenever a workload's
+recipe changes meaning — the comparator refuses to gate across suite
+versions, which is how a deliberate workload change and a performance
+regression stay distinguishable.
+
+Two suites ship:
+
+* ``quick`` — the CI gate: AU at 5 % scale, CE/EDC/LBC at |Q| ∈ {2,4},
+  one warm-engine point, one closed-loop serving point.  Seconds, not
+  minutes.
+* ``full`` — adds the density sweep (CA/NA), |Q| = 8 and a warm EDC
+  point; the artifact to regenerate when refreshing the committed
+  baseline after an intentional cost change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+SUITE_VERSION = 1
+"""Bump when any workload recipe below changes meaning."""
+
+#: Timing repeats per workload (counters must agree across repeats).
+DEFAULT_REPEATS = 3
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """One single-query measurement point."""
+
+    workload_id: str
+    algorithm: str
+    network: str
+    scale: float
+    omega: float
+    query_count: int
+    warm: bool = False
+    query_seed: int = 100
+    repeats: int = DEFAULT_REPEATS
+    distance_backend: str = "dijkstra"
+
+    @property
+    def kind(self) -> str:
+        return "query"
+
+    def params(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class ServiceWorkload:
+    """A closed-loop serving run: sequential requests, one worker.
+
+    One worker and a zero batch window make the request schedule — and
+    therefore the counters — deterministic while still exercising the
+    full admission/planning/execution path.
+    """
+
+    workload_id: str
+    algorithm: str
+    network: str
+    scale: float
+    omega: float
+    query_count: int
+    requests: int = 8
+    query_seed: int = 100
+    repeats: int = 1
+    distance_backend: str = "dijkstra"
+
+    @property
+    def kind(self) -> str:
+        return "service"
+
+    def params(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+Workload = QueryWorkload | ServiceWorkload
+
+
+def _query_grid(
+    network: str,
+    scale: float,
+    algorithms: tuple[str, ...],
+    query_counts: tuple[int, ...],
+    omega: float = 0.5,
+) -> list[QueryWorkload]:
+    out = []
+    for algorithm in algorithms:
+        for q in query_counts:
+            out.append(
+                QueryWorkload(
+                    workload_id=(
+                        f"query/{algorithm}/{network.lower()}/q{q}/cold"
+                    ),
+                    algorithm=algorithm,
+                    network=network,
+                    scale=scale,
+                    omega=omega,
+                    query_count=q,
+                )
+            )
+    return out
+
+
+_QUICK: list[Workload] = [
+    *_query_grid("AU", 0.05, ("CE", "EDC", "LBC"), (2, 4)),
+    QueryWorkload(
+        workload_id="query/LBC/au/q4/warm",
+        algorithm="LBC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        warm=True,
+    ),
+    ServiceWorkload(
+        workload_id="service/LBC/au/q4/closed-loop",
+        algorithm="LBC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        requests=8,
+    ),
+]
+
+_FULL: list[Workload] = [
+    *_QUICK,
+    *_query_grid("CA", 0.10, ("CE", "EDC", "LBC"), (4,)),
+    *_query_grid("NA", 0.05, ("CE", "EDC", "LBC"), (4,)),
+    QueryWorkload(
+        workload_id="query/LBC/au/q8/cold",
+        algorithm="LBC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=8,
+    ),
+    QueryWorkload(
+        workload_id="query/EDC/au/q4/warm",
+        algorithm="EDC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        warm=True,
+    ),
+]
+
+SUITES: dict[str, list[Workload]] = {"quick": _QUICK, "full": _FULL}
+
+
+def suite_workloads(name: str) -> list[Workload]:
+    """The workloads of a named suite (``KeyError``-free lookup)."""
+    try:
+        return list(SUITES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; choose from {sorted(SUITES)}"
+        ) from None

@@ -15,6 +15,13 @@ Installed as the ``repro`` console script (also runnable as
   installed as the ``repro-serve`` console script);
 * ``experiment`` — regenerate the paper's figures (thin wrapper around
   ``python -m repro.experiments``);
+* ``bench``      — run the versioned benchmark suite, emit/compare
+  ``BENCH_<rev>.json`` artifacts (:mod:`repro.bench`; also
+  ``python -m repro.bench``);
+* ``profile``    — sampling profiler over a preset workload, with
+  per-span self time and collapsed-stack flamegraph export;
+* ``heatmap``    — page-access heatmaps per buffer pool (adjacency
+  vs R-tree vs B+-tree) for a preset workload;
 * ``lint``       — run the repo's own architecture & concurrency
   linter (:mod:`repro.analysis`; also ``python -m repro.analysis``).
 
@@ -160,6 +167,53 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.10)
     experiment.add_argument("--quick", action="store_true")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite; emit/compare BENCH_<rev>.json",
+        add_help=False,  # --help flows through to the bench parser
+    )
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    profile = sub.add_parser(
+        "profile",
+        help="sampling profiler: per-span self time + collapsed stacks",
+    )
+    _add_workload_arguments(profile)
+    profile.add_argument(
+        "--interval-ms",
+        type=float,
+        default=2.0,
+        help="sampling interval in milliseconds (default: 2.0)",
+    )
+    profile.add_argument(
+        "--min-samples",
+        type=int,
+        default=200,
+        help="re-run the workload until this many samples are captured",
+    )
+    profile.add_argument(
+        "--collapsed",
+        help="write collapsed stacks here (flamegraph.pl / speedscope)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, help="rows in the self-time table"
+    )
+
+    heatmap = sub.add_parser(
+        "heatmap",
+        help="page-access heatmaps per buffer pool after a workload",
+    )
+    _add_workload_arguments(heatmap)
+    heatmap.add_argument(
+        "--out", help="write the page heats as JSON here"
+    )
+    heatmap.add_argument(
+        "--top", type=int, default=8, help="hottest pages listed per pool"
+    )
+    heatmap.add_argument(
+        "--width", type=int, default=64, help="intensity strip width"
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the architecture & concurrency linter (repro.analysis)",
@@ -168,6 +222,40 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("rest", nargs=argparse.REMAINDER)
 
     return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared preset-workload knobs of ``profile`` and ``heatmap``."""
+    parser.add_argument(
+        "--preset", choices=["CA", "AU", "NA"], default="AU"
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--omega", type=float, default=0.5)
+    parser.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="LBC"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=4, help="|Q| query points"
+    )
+    parser.add_argument("--seed", type=int, default=100)
+    parser.add_argument(
+        "--distance-backend",
+        choices=list(BACKEND_NAMES),
+        default=DEFAULT_BACKEND,
+    )
+
+
+def _build_preset_workload(args):
+    """Workspace + query points for the profile/heatmap subcommands."""
+    network = build_preset(args.preset, scale=args.scale)
+    objects = extract_objects(network, omega=args.omega, seed=1)
+    workspace = Workspace.build(
+        network, objects, paged=True, distance_backend=args.distance_backend
+    )
+    queries = select_query_points(
+        network, args.queries, region_fraction=0.10, seed=args.seed
+    )
+    return workspace, queries
 
 
 def _cmd_generate(args) -> int:
@@ -357,10 +445,74 @@ def _cmd_serve(args) -> int:
     return run_serve(args)
 
 
+def _cmd_profile(args) -> int:
+    from repro.profiling import SamplingProfiler, format_self_time_table
+
+    workspace, queries = _build_preset_workload(args)
+    algorithm = ALGORITHMS[args.algorithm]()
+    interval_s = args.interval_ms / 1000.0
+    profiler = SamplingProfiler(interval_s=interval_s)
+    runs = 0
+    with profiler:
+        # Re-run the workload until enough samples exist for a stable
+        # profile; counters are not being measured here, so repetition
+        # is free of determinism concerns.
+        while profiler.report.total_samples < args.min_samples:
+            workspace.reset_io(cold=True)
+            algorithm.run(workspace, queries)
+            runs += 1
+    report = profiler.report
+    print(
+        f"profiled {runs} run(s) of {algorithm.name} on "
+        f"{args.preset}@{args.scale} |Q|={len(queries)}"
+    )
+    print(format_self_time_table(report, top=args.top))
+    if args.collapsed:
+        count = report.write_collapsed(args.collapsed)
+        print(f"wrote {args.collapsed} ({count} collapsed stacks)")
+    return 0
+
+
+def _cmd_heatmap(args) -> int:
+    from repro.storage.heatmap import heat_dict, render_component
+
+    workspace, queries = _build_preset_workload(args)
+    algorithm = ALGORITHMS[args.algorithm]()
+    workspace.reset_io(cold=True)
+    result = algorithm.run(workspace, queries)
+    components = {}
+    if workspace.store is not None:
+        components["network"] = workspace.store.pool.page_accesses()
+    if workspace.rtree_pager is not None:
+        components["index"] = workspace.rtree_pager.pool.page_accesses()
+    if workspace.middle_pager is not None:
+        components["middle"] = workspace.middle_pager.pool.page_accesses()
+    print(
+        f"{algorithm.name} on {args.preset}@{args.scale} |Q|={len(queries)}: "
+        f"{len(result)} skyline points, "
+        f"{result.stats.total_pages} physical page reads"
+    )
+    for name, accesses in components.items():
+        print(render_component(name, accesses, top=args.top, width=args.width))
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(heat_dict(components), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import main as lint_main
 
     return lint_main(args.rest)
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.rest)
 
 
 def _cmd_experiment(args) -> int:
@@ -380,12 +532,17 @@ def _cmd_experiment(args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # argparse.REMAINDER refuses a leading flag (`repro lint --list-rules`),
-    # so the lint subcommand is dispatched before parsing.
+    # argparse.REMAINDER refuses a leading flag (`repro lint --list-rules`,
+    # `repro bench --quick`), so those subcommands are dispatched before
+    # parsing.
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -395,6 +552,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "route": _cmd_route,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
+        "profile": _cmd_profile,
+        "heatmap": _cmd_heatmap,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -11,8 +11,8 @@ defaults reproduce the full reported tables.
 from __future__ import annotations
 
 import argparse
-import time
 
+from repro.obs import tracing
 from repro.experiments.figures import (
     run_fig4a,
     run_fig4b,
@@ -62,37 +62,43 @@ def main() -> None:
 
             write_series_csv(series, csv_dir / f"{series.figure.lower()}.csv")
 
-    started = time.perf_counter()
     produced = {}
 
-    def track(series):
-        produced[series.figure] = series
-        emit(series)
+    with tracing.span("experiment.run") as run_span:
 
-    track(run_fig4a(base, q_values, cache))
-    track(run_fig4b(base, omega_values, cache))
-    track(run_fig4c(base, cache=cache))
-    for series in run_fig5(base, cache=cache):
-        track(series)
-    for series in run_fig6_q(base, q_values, cache):
-        track(series)
-    for series in run_fig6_omega(base, omega_values, cache):
-        track(series)
-    if args.verify_shapes:
-        from repro.experiments.shapes import verify_all
-
-        checks = verify_all(produced)
-        print("shape verification:")
-        for check in checks:
-            print(f"  {check}")
-        failed = sum(1 for c in checks if not c.passed)
-        print(f"{len(checks) - failed}/{len(checks)} claims hold\n")
-    if args.ablations:
-        from repro.experiments.ablations import run_all_ablations
-
-        for series in run_all_ablations(base, cache):
+        def track(series):
+            produced[series.figure] = series
             emit(series)
-    print(f"total wall time: {time.perf_counter() - started:.1f}s")
+            # Queries measured so far fold into the run span's own
+            # totals; dropping their subtrees keeps a full-grid run's
+            # memory flat (thousands of per-query span trees otherwise
+            # stay live until the end).
+            run_span.prune()
+
+        track(run_fig4a(base, q_values, cache))
+        track(run_fig4b(base, omega_values, cache))
+        track(run_fig4c(base, cache=cache))
+        for series in run_fig5(base, cache=cache):
+            track(series)
+        for series in run_fig6_q(base, q_values, cache):
+            track(series)
+        for series in run_fig6_omega(base, omega_values, cache):
+            track(series)
+        if args.verify_shapes:
+            from repro.experiments.shapes import verify_all
+
+            checks = verify_all(produced)
+            print("shape verification:")
+            for check in checks:
+                print(f"  {check}")
+            failed = sum(1 for c in checks if not c.passed)
+            print(f"{len(checks) - failed}/{len(checks)} claims hold\n")
+        if args.ablations:
+            from repro.experiments.ablations import run_all_ablations
+
+            for series in run_all_ablations(base, cache):
+                emit(series)
+    print(f"total wall time: {run_span.duration_s:.1f}s")
 
 
 if __name__ == "__main__":

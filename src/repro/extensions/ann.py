@@ -31,17 +31,38 @@ distance-matrix evaluation.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.query import Workspace
+from repro.obs import tracing
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 
 Aggregate = Callable[[Sequence[float]], float]
 
 AGGREGATES: dict[str, Aggregate] = {"sum": sum, "max": max}
+
+
+def _span_timed(span_name: str):
+    """Run an ANN processor inside a tracing span (``ann.ce``/``ann.lb``/
+    ``ann.brute``) and source ``total_response_s`` from the span's
+    monotonic duration — one clock for traces, slow logs and results.
+    """
+
+    def decorate(fn):
+        def wrapper(*args, **kwargs):
+            with tracing.span(span_name) as root:
+                result = fn(*args, **kwargs)
+            result.total_response_s = root.duration_s
+            return result
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +107,7 @@ class AggregateNNBaseline:
     def __init__(self, aggregate: str | Aggregate = "sum") -> None:
         self._aggregate = _resolve_aggregate(aggregate)
 
+    @_span_timed("ann.ce")
     def run(
         self,
         workspace: Workspace,
@@ -96,7 +118,6 @@ class AggregateNNBaseline:
         workspace.validate_queries(queries)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        started = time.perf_counter()
         aggregate = self._aggregate
         n = len(queries)
         # Fresh INE wavefronts from the engine: emission state is
@@ -138,6 +159,7 @@ class AggregateNNBaseline:
                 row = known.setdefault(obj.object_id, {})
                 row[i] = dist
                 result.distance_computations += 1
+                tracing.record("distance_computations")
                 if len(row) == n:
                     complete[obj.object_id] = aggregate(
                         [row[j] for j in range(n)]
@@ -171,7 +193,6 @@ class AggregateNNBaseline:
                 )
             )
         result.nodes_settled = sum(e.nodes_settled for e in expanders)
-        result.total_response_s = time.perf_counter() - started
         return result
 
 
@@ -183,6 +204,7 @@ class AggregateNNLowerBound:
     def __init__(self, aggregate: str | Aggregate = "sum") -> None:
         self._aggregate = _resolve_aggregate(aggregate)
 
+    @_span_timed("ann.lb")
     def run(
         self,
         workspace: Workspace,
@@ -193,7 +215,6 @@ class AggregateNNLowerBound:
         workspace.validate_queries(queries)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        started = time.perf_counter()
         aggregate = self._aggregate
         n = len(queries)
         query_points = [q.point for q in queries]
@@ -243,6 +264,7 @@ class AggregateNNLowerBound:
             target = min(dims, key=lambda i: (row[i], i))
             search = expanders[target].search_toward(obj.location)
             result.distance_computations += 1
+            tracing.record("distance_computations")
             if search.done:
                 row[target] = search.distance
                 flags[target] = True
@@ -253,6 +275,7 @@ class AggregateNNLowerBound:
             for _ in range(8):
                 row[target] = max(row[target], search.expand_step())
                 result.lb_expansions += 1
+                tracing.record("lb_expansions")
                 if search.done:
                     flags[target] = True
                     row[target] = search.distance
@@ -320,10 +343,10 @@ class AggregateNNLowerBound:
                 )
             )
         result.nodes_settled = engine.nodes_settled() - nodes_before
-        result.total_response_s = time.perf_counter() - started
         return result
 
 
+@_span_timed("ann.brute")
 def brute_force_aggregate_nn(
     workspace: Workspace,
     queries: list[NetworkLocation],
@@ -332,7 +355,6 @@ def brute_force_aggregate_nn(
 ) -> AggregateNNResult:
     """Exhaustive reference: full distance matrix, then sort."""
     func = _resolve_aggregate(aggregate)
-    started = time.perf_counter()
     result = AggregateNNResult()
     engine = workspace.engine
     nodes_before = engine.nodes_settled()
@@ -343,11 +365,11 @@ def brute_force_aggregate_nn(
         distances = tuple(row[j] for row in rows)
         scored.append((func(distances), obj.object_id, obj, distances))
         result.distance_computations += len(queries)
+        tracing.record("distance_computations", len(queries))
     scored.sort(key=lambda item: (item[0], item[1]))
     for value, _, obj, distances in scored[:k]:
         result.answers.append(
             AggregateNNAnswer(obj=obj, distances=distances, value=value)
         )
     result.nodes_settled = engine.nodes_settled() - nodes_before
-    result.total_response_s = time.perf_counter() - started
     return result

@@ -43,6 +43,7 @@ from repro.obs.tracing import (
     Span,
     Tracer,
     activate,
+    active_span_of_thread,
     current_span,
     format_trace,
     record,
@@ -66,6 +67,7 @@ __all__ = [
     "Span",
     "Tracer",
     "activate",
+    "active_span_of_thread",
     "current_span",
     "format_trace",
     "parse_prometheus_text",

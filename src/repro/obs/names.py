@@ -47,6 +47,13 @@ SPAN_NAMES = frozenset(
         # LBC phases (repro.core.lbc)
         "lbc.stream",
         "lbc.resolve",
+        # Aggregate-NN extension runs (repro.extensions.ann)
+        "ann.ce",
+        "ann.lb",
+        "ann.brute",
+        # One root span per `python -m repro.experiments` invocation
+        # (repro.experiments.__main__)
+        "experiment.run",
     }
 )
 """Exact span names a trace tree may contain."""

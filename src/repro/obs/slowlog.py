@@ -19,12 +19,24 @@ from typing import Any
 
 @dataclass(frozen=True)
 class SlowQueryRecord:
-    """One retained slow request."""
+    """One retained slow request.
+
+    Two clocks, deliberately kept apart: ``wall_time`` is a
+    ``time.time()`` stamp taken when the record is created (for
+    correlating with external logs), while ``latency_s`` and
+    ``span_duration_s`` are monotonic ``perf_counter``-derived
+    durations — ``latency_s`` covers admission to completion (queueing
+    included) and ``span_duration_s`` is the request span's own
+    execution time.  Comparing a wall stamp against a monotonic
+    duration is meaningless; exposing both makes the distinction
+    explicit instead of leaving callers to guess.
+    """
 
     request_id: str
     algorithm: str
     latency_s: float
     wall_time: float
+    span_duration_s: float = 0.0
     query_nodes: tuple[int, ...] = ()
     trace_id: str | None = None
     counters: dict[str, float] = field(default_factory=dict)
@@ -35,6 +47,7 @@ class SlowQueryRecord:
             "algorithm": self.algorithm,
             "latency_s": self.latency_s,
             "wall_time": self.wall_time,
+            "span_duration_s": self.span_duration_s,
             "query_nodes": list(self.query_nodes),
             "trace_id": self.trace_id,
             "counters": dict(self.counters),
@@ -67,8 +80,14 @@ class SlowQueryLog:
         query_nodes: tuple[int, ...] = (),
         trace_id: str | None = None,
         counters: dict[str, float] | None = None,
+        span_duration_s: float = 0.0,
     ) -> bool:
-        """Record a finished request; returns True iff it was slow."""
+        """Record a finished request; returns True iff it was slow.
+
+        ``latency_s``/``span_duration_s`` are monotonic durations (the
+        caller derives them from ``perf_counter``-based span timings);
+        the wall-clock stamp is taken here, once, at record time.
+        """
         if latency_s < self.threshold_s:
             return False
         record = SlowQueryRecord(
@@ -76,6 +95,7 @@ class SlowQueryLog:
             algorithm=algorithm,
             latency_s=latency_s,
             wall_time=time.time(),
+            span_duration_s=span_duration_s,
             query_nodes=tuple(query_nodes),
             trace_id=trace_id,
             counters=dict(counters or {}),

@@ -40,6 +40,15 @@ from typing import Any, Iterator
 
 _CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
 
+# Thread id -> innermost active span, mirrored from the contextvar by
+# the span()/activate()/suppressed() context managers.  The contextvar
+# is invisible from outside the owning thread, so the sampling profiler
+# (:mod:`repro.profiling`) reads this map instead to attribute a
+# ``sys._current_frames()`` sample to the span the sampled thread was
+# executing under.  Two dict writes per *span* (not per record()) keep
+# the hot path untouched.
+_ACTIVE_BY_THREAD: dict[int, "Span | None"] = {}
+
 
 def _new_id() -> str:
     return uuid.uuid4().hex[:16]
@@ -59,6 +68,7 @@ class Span:
         "trace_id",
         "span_id",
         "parent_id",
+        "parent",
         "start_wall",
         "start_perf",
         "end_perf",
@@ -74,6 +84,7 @@ class Span:
         self.trace_id = parent.trace_id if parent is not None else _new_id()
         self.span_id = _new_id()
         self.parent_id = parent.span_id if parent is not None else None
+        self.parent = parent
         self.start_wall = time.time()
         self.start_perf = time.perf_counter()
         self.end_perf: float | None = None
@@ -118,6 +129,38 @@ class Span:
                 out[key] = out.get(key, 0.0) + value
         return out
 
+    # -- ancestry -----------------------------------------------------
+
+    def path(self) -> tuple[str, ...]:
+        """Span names from the root down to this span.
+
+        The sampling profiler uses this as the prefix of a collapsed
+        stack line, so a flamegraph groups Python frames under the
+        query phase that was executing when the sample was taken.
+        """
+        names: list[str] = []
+        node: Span | None = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return tuple(reversed(names))
+
+    def prune(self) -> None:
+        """Detach accumulated children, folding their recursive totals
+        into this span's own counts first so ``totals()`` is unchanged.
+
+        For long-running driver spans (a whole ``repro experiment``
+        run) that exist for timing/attribution only: thousands of
+        finished per-query subtrees would otherwise stay reachable for
+        the driver's entire lifetime.
+        """
+        for child in self.children:
+            for key, value in child.totals().items():
+                self.counts[key] = self.counts.get(key, 0.0) + value
+        for child in self.children:
+            child.parent = None
+        self.children = []
+
     # -- serialisation ------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -145,7 +188,10 @@ class Span:
         span.end_perf = data.get("duration_s", 0.0)
         span.attributes = dict(data.get("attributes", {}))
         span.counts = dict(data.get("counts", {}))
+        span.parent = None
         span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        for child in span.children:
+            child.parent = span
         return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -163,6 +209,34 @@ def current_span() -> Span | None:
     return _CURRENT.get()
 
 
+def active_span_of_thread(thread_id: int) -> Span | None:
+    """The innermost span thread ``thread_id`` is currently under.
+
+    Cross-thread read for the sampling profiler; anything inside the
+    running thread should use :func:`current_span` instead.  Reads the
+    mirror map the context managers below maintain, so it only sees
+    spans opened through :func:`span`/:func:`activate` (which is all of
+    them).
+    """
+    return _ACTIVE_BY_THREAD.get(thread_id)
+
+
+def _set_active(node: Span | None) -> int:
+    ident = threading.get_ident()
+    if node is None:
+        _ACTIVE_BY_THREAD.pop(ident, None)
+    else:
+        _ACTIVE_BY_THREAD[ident] = node
+    return ident
+
+
+def _restore_active(ident: int, node: Span | None) -> None:
+    if node is None:
+        _ACTIVE_BY_THREAD.pop(ident, None)
+    else:
+        _ACTIVE_BY_THREAD[ident] = node
+
+
 def record(key: str, value: float = 1.0) -> None:
     """Charge ``value`` to the innermost active span (no-op outside one).
 
@@ -178,13 +252,16 @@ def record(key: str, value: float = 1.0) -> None:
 @contextlib.contextmanager
 def span(name: str, **attributes: Any) -> Iterator[Span]:
     """Open a child span under the ambient one (or a new root)."""
-    node = Span(name, parent=_CURRENT.get(), **attributes)
+    previous = _CURRENT.get()
+    node = Span(name, parent=previous, **attributes)
     token = _CURRENT.set(node)
+    ident = _set_active(node)
     try:
         yield node
     finally:
         node.finish()
         _CURRENT.reset(token)
+        _restore_active(ident, previous)
 
 
 @contextlib.contextmanager
@@ -196,11 +273,14 @@ def activate(node: Span | None) -> Iterator[Span | None]:
     the request it serves.  ``activate(None)`` is a harmless no-op
     context, so call sites don't need to branch on tracing-enabled.
     """
+    previous = _CURRENT.get()
     token = _CURRENT.set(node)
+    ident = _set_active(node)
     try:
         yield node
     finally:
         _CURRENT.reset(token)
+        _restore_active(ident, previous)
 
 
 @contextlib.contextmanager
@@ -210,13 +290,17 @@ def suppressed() -> Iterator[None]:
     For shared, amortised work that must not be billed to whichever
     query happened to trigger it (lazy landmark-table builds, cache
     warmups): inside this context, :func:`record` and :func:`span`
-    behave as if no trace were active.
+    behave as if no trace were active — and the profiler attributes
+    samples taken here to no span.
     """
+    previous = _CURRENT.get()
     token = _CURRENT.set(None)
+    ident = _set_active(None)
     try:
         yield
     finally:
         _CURRENT.reset(token)
+        _restore_active(ident, previous)
 
 
 # -- tracer: retention + export ---------------------------------------

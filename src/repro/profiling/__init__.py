@@ -1,0 +1,34 @@
+"""``repro.profiling`` — span-attributed sampling profiler.
+
+A stdlib-only statistical profiler: a daemon thread wakes every
+``interval_s`` seconds, snapshots every thread's Python stack via
+``sys._current_frames()``, and attributes each sample to the tracing
+span (:mod:`repro.obs.tracing`) the sampled thread was executing under
+at that instant.  Output is
+
+* **per-span self time** — how many samples landed while each span was
+  the *innermost* active one (the span-level flat profile the paper's
+  per-phase cost breakdown corresponds to), and
+* **collapsed stacks** — ``span;path;frame;frame count`` lines in the
+  Brendan Gregg flamegraph-collapsed format, so any flamegraph tool
+  can render where the wall time went *inside* each phase.
+
+The exact cost counters (pages read, nodes settled) remain the domain
+of the deterministic span counters; sampling adds the wall-time
+dimension those counters deliberately exclude, at a measured overhead
+bounded in ``benchmarks/test_bench_obs.py`` (< 10 %).
+"""
+
+from repro.profiling.sampler import (
+    DEFAULT_INTERVAL_S,
+    ProfileReport,
+    SamplingProfiler,
+    format_self_time_table,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL_S",
+    "ProfileReport",
+    "SamplingProfiler",
+    "format_self_time_table",
+]

@@ -1,0 +1,245 @@
+"""The sampling engine: frame capture, span attribution, aggregation.
+
+``sys._current_frames()`` returns, for every live thread, the frame it
+is executing *right now* — without cooperation from the sampled code.
+The sampler thread polls it on a fixed interval and, for each sampled
+thread, asks :func:`repro.obs.tracing.active_span_of_thread` which
+tracing span that thread was inside.  The sample is then charged twice:
+
+* to the span's *self* bucket (innermost span name), producing the
+  per-phase flat profile;
+* to a collapsed-stack key ``(span path..., frames...)``, producing
+  flamegraph input where each Python stack hangs under the query phase
+  that ran it.
+
+Samples taken while a thread holds no active span (idle workers, pool
+bookkeeping, the interpreter's own machinery) are counted but excluded
+from the per-span tables, so attribution percentages are over the work
+the tracing layer actually owns.
+
+The sampler never touches the sampled threads: no signals, no settrace,
+no allocation on their hot paths.  Its own cost is the poll loop, which
+the overhead benchmark bounds at < 10 % for the default interval.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import tracing
+
+DEFAULT_INTERVAL_S = 0.002
+"""Default sampling period (500 Hz) — fine enough to see phases of a
+millisecond-scale query, coarse enough to stay well under the overhead
+budget."""
+
+UNATTRIBUTED = "(unattributed)"
+"""Pseudo span name for samples taken outside any tracing span."""
+
+_MAX_STACK = 64
+
+
+def _frame_label(frame) -> str:
+    """``<file stem>.<function>`` — compact, flamegraph-safe."""
+    code = frame.f_code
+    stem = os.path.basename(code.co_filename)
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    return f"{stem}.{code.co_name}"
+
+
+def _capture_stack(frame, limit: int = _MAX_STACK) -> tuple[str, ...]:
+    """Frame labels from the outermost call down to the sampled leaf."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < limit:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated samples from one profiling session."""
+
+    interval_s: float
+    duration_s: float = 0.0
+    total_samples: int = 0
+    attributed_samples: int = 0
+    self_samples: dict[str, int] = field(default_factory=dict)
+    root_samples: dict[str, int] = field(default_factory=dict)
+    collapsed: dict[tuple[str, ...], int] = field(default_factory=dict)
+
+    @property
+    def unattributed_samples(self) -> int:
+        return self.total_samples - self.attributed_samples
+
+    def self_seconds(self) -> dict[str, float]:
+        """Estimated self time per innermost span (samples x interval)."""
+        return {
+            name: count * self.interval_s
+            for name, count in self.self_samples.items()
+        }
+
+    def dominant_root(self) -> str | None:
+        """The root span name that owned the most samples, if any."""
+        if not self.root_samples:
+            return None
+        return max(self.root_samples.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def collapsed_lines(self) -> list[str]:
+        """``a;b;c count`` lines, heaviest stack first.
+
+        The leading path components are span names (root span first),
+        so the top frames of the rendered flamegraph are the tracing
+        phases (``query.LBC``, ``lbc.resolve``, ...) and Python frames
+        appear underneath the phase they ran in.
+        """
+        ordered = sorted(
+            self.collapsed.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [f"{';'.join(key)} {count}" for key, count in ordered]
+
+    def write_collapsed(self, path: str) -> int:
+        """Write the collapsed stacks to ``path``; returns line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval_s": self.interval_s,
+            "duration_s": self.duration_s,
+            "total_samples": self.total_samples,
+            "attributed_samples": self.attributed_samples,
+            "self_samples": dict(
+                sorted(self.self_samples.items(), key=lambda kv: -kv[1])
+            ),
+            "root_samples": dict(
+                sorted(self.root_samples.items(), key=lambda kv: -kv[1])
+            ),
+        }
+
+
+class SamplingProfiler:
+    """Background sampler; use as a context manager around a workload.
+
+    ::
+
+        profiler = SamplingProfiler(interval_s=0.002)
+        with profiler:
+            algorithm.run(workspace, queries)
+        report = profiler.report
+        report.write_collapsed("profile.collapsed")
+
+    One profiler instance runs one session; create a new instance for a
+    fresh report (keeping sessions immutable makes the determinism
+    tests trivial).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        max_stack: int = _MAX_STACK,
+        keep_stacks: bool = True,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self.max_stack = max_stack
+        self.keep_stacks = keep_stacks
+        self.report = ProfileReport(interval_s=interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> ProfileReport:
+        if self._thread is None:
+            raise RuntimeError("profiler was never started")
+        self._stop.set()
+        self._thread.join()
+        self.report.duration_s = time.perf_counter() - self._started_at
+        return self.report
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling loop ------------------------------------------------
+
+    def _loop(self) -> None:
+        own_ident = threading.get_ident()
+        report = self.report
+        while not self._stop.wait(self.interval_s):
+            frames = sys._current_frames()
+            for thread_id, frame in frames.items():
+                if thread_id == own_ident:
+                    continue
+                span = tracing.active_span_of_thread(thread_id)
+                if span is None:
+                    report.total_samples += 1
+                    continue
+                report.total_samples += 1
+                report.attributed_samples += 1
+                path = span.path()
+                leaf = path[-1]
+                report.self_samples[leaf] = (
+                    report.self_samples.get(leaf, 0) + 1
+                )
+                root = path[0]
+                report.root_samples[root] = (
+                    report.root_samples.get(root, 0) + 1
+                )
+                if self.keep_stacks:
+                    key = path + _capture_stack(frame, self.max_stack)
+                    report.collapsed[key] = report.collapsed.get(key, 0) + 1
+            # Drop the frames mapping promptly: it pins every thread's
+            # live frame (and thus its locals) until released.
+            del frames
+
+
+def format_self_time_table(report: ProfileReport, top: int = 20) -> str:
+    """Human-readable per-span self-time table, heaviest span first."""
+    lines = [
+        f"{report.total_samples} samples over {report.duration_s:.2f}s "
+        f"(interval {report.interval_s * 1e3:.1f}ms, "
+        f"{report.attributed_samples} attributed)",
+        f"{'span':<28} {'samples':>8} {'self_s':>9} {'share':>7}",
+    ]
+    attributed = max(1, report.attributed_samples)
+    ranked = sorted(
+        report.self_samples.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for name, count in ranked[:top]:
+        lines.append(
+            f"{name:<28} {count:>8d} {count * report.interval_s:>9.3f} "
+            f"{count / attributed:>6.1%}"
+        )
+    if report.unattributed_samples:
+        lines.append(
+            f"{UNATTRIBUTED:<28} {report.unattributed_samples:>8d} "
+            f"{report.unattributed_samples * report.interval_s:>9.3f} "
+            f"{'':>7}"
+        )
+    return "\n".join(lines)

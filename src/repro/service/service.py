@@ -385,6 +385,10 @@ class QueryService:
                     request_id=request.request_id,
                     algorithm=request.algorithm,
                     latency_s=latency_s,
+                    # Second clock: the span's own monotonic duration —
+                    # execution time without queueing, so a slow record
+                    # shows *where* the latency lived.
+                    span_duration_s=span.duration_s,
                     query_nodes=[
                         q.node_id if q.is_node else [q.edge_id, q.offset]
                         for q in request.queries

@@ -60,6 +60,13 @@ class BufferPool:
         # CLOCK state: reference bits per resident page and a hand over
         # the insertion order.
         self._referenced: dict[int, bool] = {}
+        # Access-frequency heatmap: per page id, how often it was
+        # requested (hit) and how often that request went to disk
+        # (miss).  O(distinct pages) memory, one dict increment per
+        # fetch under the existing lock; `repro heatmap` renders it per
+        # structure (adjacency vs R-tree vs B+-tree).
+        self._page_hits: dict[int, int] = {}
+        self._page_misses: dict[int, int] = {}
         # Guards residency, replacement state and stats increments; see
         # the module docstring.
         self._lock = threading.Lock()
@@ -90,6 +97,7 @@ class BufferPool:
             page = self._resident.get(page_id)
             if page is not None:
                 self.stats.record_read(hit=True)
+                self._page_hits[page_id] = self._page_hits.get(page_id, 0) + 1
                 if self._policy == "lru":
                     self._resident.move_to_end(page_id)
                 elif self._policy == "clock":
@@ -97,6 +105,7 @@ class BufferPool:
                 return page
             page = self._disk.read(page_id)
             self.stats.record_read(hit=False)
+            self._page_misses[page_id] = self._page_misses.get(page_id, 0) + 1
             if self._miss_key is not None:
                 tracing.record(self._miss_key)
             if len(self._resident) >= self._frames:
@@ -135,7 +144,26 @@ class BufferPool:
             self._resident.clear()
             self._referenced.clear()
 
+    def page_accesses(self) -> dict[int, tuple[int, int]]:
+        """Per-page ``(hits, misses)`` since the last stats reset.
+
+        A consistent copy taken under the pool lock; the sum over all
+        pages reconciles with ``stats.logical_reads`` /
+        ``stats.physical_reads`` by construction.
+        """
+        with self._lock:
+            pages = set(self._page_hits) | set(self._page_misses)
+            return {
+                page_id: (
+                    self._page_hits.get(page_id, 0),
+                    self._page_misses.get(page_id, 0),
+                )
+                for page_id in pages
+            }
+
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without evicting pages."""
         with self._lock:
             self.stats.reset()
+            self._page_hits.clear()
+            self._page_misses.clear()

@@ -1,0 +1,140 @@
+"""Page-access heatmaps over :class:`~repro.storage.buffer.BufferPool`.
+
+The paper's cost model charges *page accesses*; the heatmap shows how
+those accesses distribute over the page space of each structure — is
+the adjacency store scanned uniformly, does the R-tree hammer its root
+split, does the B+-tree's leaf chain stay cold?  Input is the per-page
+``(hits, misses)`` map a pool collects (:meth:`BufferPool.
+page_accesses`); output is a ranked table, a fixed-width ASCII
+intensity strip (pages binned in id order), and a JSON-ready dict that
+``repro heatmap --out`` writes for downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Intensity ramp for the ASCII strip, coldest to hottest.
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True, slots=True)
+class PageHeat:
+    """Access counts for one page."""
+
+    page_id: int
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+def page_heats(accesses: Mapping[int, tuple[int, int]]) -> list[PageHeat]:
+    """Per-page heats in page-id order."""
+    return [
+        PageHeat(page_id=page_id, hits=hits, misses=misses)
+        for page_id, (hits, misses) in sorted(accesses.items())
+    ]
+
+
+def hottest(heats: list[PageHeat], top: int = 10) -> list[PageHeat]:
+    """The ``top`` most-accessed pages, heaviest first."""
+    return sorted(heats, key=lambda h: (-h.accesses, h.page_id))[:top]
+
+
+def bin_heats(
+    heats: list[PageHeat], bins: int
+) -> list[tuple[int, int, int, int]]:
+    """Bin pages (in id order) into ``(lo, hi, accesses, misses)`` rows.
+
+    Binning is over the *occupied id range*, so sparse page-id spaces
+    (pagers allocate ids across structures from one disk) still render
+    as a compact strip.
+    """
+    if not heats or bins < 1:
+        return []
+    lo_id = heats[0].page_id
+    hi_id = heats[-1].page_id
+    span = max(1, hi_id - lo_id + 1)
+    width = max(1, -(-span // bins))  # ceil division
+    rows: dict[int, list[int]] = {}
+    for heat in heats:
+        index = (heat.page_id - lo_id) // width
+        row = rows.setdefault(index, [0, 0])
+        row[0] += heat.accesses
+        row[1] += heat.misses
+    out = []
+    for index in range(min(bins, -(-span // width))):
+        accesses, misses = rows.get(index, (0, 0))
+        lo = lo_id + index * width
+        hi = min(hi_id, lo + width - 1)
+        out.append((lo, hi, accesses, misses))
+    return out
+
+
+def render_strip(heats: list[PageHeat], width: int = 64) -> str:
+    """A one-line ASCII intensity strip over the page-id range."""
+    binned = bin_heats(heats, width)
+    if not binned:
+        return "(no page accesses)"
+    peak = max(accesses for _, _, accesses, _ in binned)
+    if peak == 0:
+        return _RAMP[0] * len(binned)
+    chars = []
+    for _, _, accesses, _ in binned:
+        # ceil-scale so any non-zero bin is visibly warmer than zero.
+        level = -(-accesses * (len(_RAMP) - 1) // peak)
+        chars.append(_RAMP[level])
+    return "".join(chars)
+
+
+def render_component(
+    name: str,
+    accesses: Mapping[int, tuple[int, int]],
+    top: int = 8,
+    width: int = 64,
+) -> str:
+    """Full text rendering for one buffer pool."""
+    heats = page_heats(accesses)
+    total = sum(h.accesses for h in heats)
+    misses = sum(h.misses for h in heats)
+    lines = [
+        f"{name}: {len(heats)} pages touched, "
+        f"{total} accesses ({misses} physical)",
+    ]
+    if not heats:
+        return "\n".join(lines)
+    lines.append(f"  [{render_strip(heats, width)}]")
+    lines.append(
+        f"  pages {heats[0].page_id}..{heats[-1].page_id} "
+        f"(left to right), ramp '{_RAMP}'"
+    )
+    lines.append(f"  {'page':>8} {'accesses':>9} {'hits':>7} {'misses':>7}")
+    for heat in hottest(heats, top):
+        lines.append(
+            f"  {heat.page_id:>8d} {heat.accesses:>9d} "
+            f"{heat.hits:>7d} {heat.misses:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def heat_dict(
+    components: Mapping[str, Mapping[int, tuple[int, int]]]
+) -> dict[str, Any]:
+    """JSON-ready export of several components' page heats."""
+    out: dict[str, Any] = {}
+    for name, accesses in components.items():
+        heats = page_heats(accesses)
+        out[name] = {
+            "pages_touched": len(heats),
+            "accesses": sum(h.accesses for h in heats),
+            "physical_reads": sum(h.misses for h in heats),
+            "pages": [
+                {"page_id": h.page_id, "hits": h.hits, "misses": h.misses}
+                for h in heats
+            ],
+        }
+    return out

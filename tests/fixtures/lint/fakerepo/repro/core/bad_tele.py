@@ -9,5 +9,11 @@ def run():
         return None
 
 
+def profile():
+    # A profiler-style span name nobody registered in obs/names.py.
+    with tracing.span("profiler.sample"):  # EXPECT: REPRO-TELE02
+        tracing.record("samples_taken")  # EXPECT: REPRO-TELE01
+
+
 def register(registry):
     registry.counter("repro_bogus_total", "a family nobody scrapes")  # EXPECT: REPRO-TELE03

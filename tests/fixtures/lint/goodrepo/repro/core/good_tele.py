@@ -7,6 +7,11 @@ def run(name):
     tracing.record("nodes_settled")
     with tracing.span("ce.filter"):
         pass
+    # Extension spans minted in obs/names.py are vocabulary too.
+    with tracing.span("ann.ce"):
+        tracing.record("distance_computations")
+    with tracing.span("experiment.run"):
+        pass
     with tracing.span(f"query.{name}"):
         return None
 

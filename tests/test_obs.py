@@ -225,6 +225,50 @@ class TestTracing:
         assert "nodes_settled=6" in text
         assert "network_pages=3" in text
 
+    def test_span_path_walks_ancestry(self):
+        with tracing.span("query.LBC") as root:
+            with tracing.span("lbc.resolve") as leaf:
+                assert leaf.path() == ("query.LBC", "lbc.resolve")
+        assert root.path() == ("query.LBC",)
+
+    def test_thread_mirror_tracks_innermost_span(self):
+        import threading
+
+        ident = threading.get_ident()
+        assert tracing.active_span_of_thread(ident) is None
+        with tracing.span("query.LBC"):
+            with tracing.span("lbc.resolve") as inner:
+                assert tracing.active_span_of_thread(ident) is inner
+            outer = tracing.active_span_of_thread(ident)
+            assert outer is not None and outer.name == "query.LBC"
+        assert tracing.active_span_of_thread(ident) is None
+
+    def test_thread_mirror_restored_by_suppressed_and_activate(self):
+        import threading
+
+        ident = threading.get_ident()
+        with tracing.span("query.LBC") as root:
+            with tracing.suppressed():
+                assert tracing.active_span_of_thread(ident) is None
+            assert tracing.active_span_of_thread(ident) is root
+        detached = Span("request.CE")
+        with tracing.activate(detached):
+            assert tracing.active_span_of_thread(ident) is detached
+        assert tracing.active_span_of_thread(ident) is None
+
+    def test_prune_folds_children_into_totals(self):
+        with tracing.span("experiment.run") as root:
+            with tracing.span("query.LBC"):
+                tracing.record("pages", 5)
+            root.prune()
+            assert root.children == []
+            assert root.total("pages") == 5
+            with tracing.span("query.CE"):
+                tracing.record("pages", 2)
+        # Totals survive a prune plus later, unpruned children.
+        assert root.total("pages") == 7
+        assert [c.name for c in root.children] == ["query.CE"]
+
 
 # ----------------------------------------------------------------------
 # Slow-query log
@@ -257,6 +301,20 @@ class TestSlowQueryLog:
         payload = json.loads(json.dumps(log.to_dict()))
         assert payload["slow_count"] == 1
         assert payload["records"][0]["counters"]["network_pages"] == 4.0
+
+    def test_dual_clock_fields(self):
+        # latency_s (queue wait + execution, monotonic) and
+        # span_duration_s (execution only, span clock) are distinct;
+        # wall_time is a wall-clock stamp for log correlation only.
+        log = SlowQueryLog(threshold_s=0.0)
+        log.offer("r1", "LBC", 0.8, span_duration_s=0.3)
+        record = log.records()[0]
+        assert record.latency_s == 0.8
+        assert record.span_duration_s == 0.3
+        assert record.latency_s >= record.span_duration_s
+        assert record.wall_time > 1e9  # epoch seconds, not monotonic
+        payload = record.to_dict()
+        assert payload["span_duration_s"] == 0.3
 
 
 # ----------------------------------------------------------------------
@@ -463,3 +521,7 @@ def test_slow_query_log_captures_trace_ids(small_service):
     assert record.algorithm == "LBC"
     assert record.trace_id
     assert record.counters.get("nodes_settled", 0) > 0
+    # The service records both clocks: total latency from enqueue and
+    # the request span's own execution time.
+    assert record.span_duration_s > 0.0
+    assert record.latency_s >= record.span_duration_s

@@ -1,0 +1,159 @@
+"""repro.profiling: span attribution, collapsed output, determinism."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import tracing
+from repro.profiling import (
+    ProfileReport,
+    SamplingProfiler,
+    format_self_time_table,
+)
+from repro.profiling.sampler import UNATTRIBUTED, _frame_label
+
+
+def spin(seconds: float) -> None:
+    """Busy-wait so the sampler has frames to catch."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+# ---------------------------------------------------------------------------
+# Span attribution
+# ---------------------------------------------------------------------------
+
+
+def test_samples_attribute_to_active_span():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        with tracing.span("query.LBC"):
+            spin(0.15)
+    report = profiler.report
+    assert report.total_samples > 0
+    assert report.self_samples.get("query.LBC", 0) > 0
+    assert report.dominant_root() == "query.LBC"
+
+
+def test_nested_spans_attribute_to_leaf_and_root():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        with tracing.span("query.LBC"):
+            with tracing.span("lbc.resolve"):
+                spin(0.15)
+    report = profiler.report
+    # Self time lands on the innermost span, roots roll up to the query.
+    assert report.self_samples.get("lbc.resolve", 0) > 0
+    assert report.root_samples.get("query.LBC", 0) > 0
+    assert "lbc.resolve" not in report.root_samples
+
+
+def test_samples_outside_spans_are_unattributed():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        spin(0.1)
+    report = profiler.report
+    assert report.total_samples > 0
+    assert report.attributed_samples == 0
+    assert report.unattributed_samples == report.total_samples
+
+
+def test_worker_thread_samples_attributed():
+    # Cross-thread attribution: the sampled span lives on a worker
+    # thread, not the profiler's starter.
+    def work():
+        with tracing.span("query.CE"):
+            spin(0.15)
+
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+    assert profiler.report.self_samples.get("query.CE", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Collapsed stacks
+# ---------------------------------------------------------------------------
+
+
+def test_collapsed_lines_lead_with_span_path(tmp_path):
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        with tracing.span("query.EDC"):
+            with tracing.span("edc.refine"):
+                spin(0.15)
+    lines = profiler.report.collapsed_lines()
+    assert lines, "expected at least one collapsed stack"
+    frames = lines[0].rsplit(" ", 1)[0].split(";")
+    assert frames[0] == "query.EDC"
+    assert frames[1] == "edc.refine"
+    # Python frames follow the span prefix; this test file is on-stack.
+    assert any(label.startswith("test_profiling.") for label in frames)
+    count = lines[0].rsplit(" ", 1)[1]
+    assert count.isdigit() and int(count) > 0
+
+    out = tmp_path / "profile.collapsed"
+    written = profiler.report.write_collapsed(str(out))
+    assert written == len(lines)
+    assert out.read_text().splitlines() == lines
+
+
+def test_frame_label_strips_path_and_extension():
+    frame = next(iter(__import__("sys")._current_frames().values()))
+    label = _frame_label(frame)
+    assert "/" not in label and ".py" not in label
+
+
+# ---------------------------------------------------------------------------
+# Determinism and lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_dominant_root_stable_across_runs():
+    """The headline attribution must not flap run to run."""
+
+    def one_run() -> str:
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            with tracing.span("query.LBC"):
+                spin(0.08)
+            with tracing.span("query.CE"):
+                spin(0.02)
+        return profiler.report.dominant_root()
+
+    assert one_run() == one_run() == "query.LBC"
+
+
+def test_profiler_single_use():
+    profiler = SamplingProfiler(interval_s=0.01)
+    with profiler:
+        pass
+    with pytest.raises(RuntimeError, match="already started"):
+        profiler.start()
+    fresh = SamplingProfiler(interval_s=0.01)
+    with pytest.raises(RuntimeError, match="never started"):
+        fresh.stop()
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError, match="interval"):
+        SamplingProfiler(interval_s=0.0)
+
+
+def test_report_table_and_dict():
+    report = ProfileReport(interval_s=0.002)
+    report.total_samples = 10
+    report.attributed_samples = 8
+    report.self_samples = {"query.LBC": 6, "lbc.resolve": 2}
+    report.root_samples = {"query.LBC": 8}
+    report.duration_s = 0.02
+    table = format_self_time_table(report)
+    assert "query.LBC" in table
+    assert UNATTRIBUTED in table  # 2 unattributed samples shown
+    data = report.to_dict()
+    assert data["total_samples"] == 10
+    assert list(data["self_samples"]) == ["query.LBC", "lbc.resolve"]

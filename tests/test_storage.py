@@ -269,3 +269,90 @@ class TestReplacementPolicies:
                 pool.fetch(pages[1 + (i % 29)])  # cold scan
             results[policy] = pool.stats.physical_reads
         assert results["lru"] < results["fifo"]
+
+
+class TestPageAccessHeat:
+    def test_page_accesses_reconcile_with_iostats(self):
+        disk = DiskManager()
+        pages = [disk.allocate().page_id for _ in range(3)]
+        pool = BufferPool(disk, capacity_bytes=DEFAULT_PAGE_SIZE * 4)
+        for page_id in (pages[0], pages[0], pages[1], pages[0], pages[2]):
+            pool.fetch(page_id)
+        accesses = pool.page_accesses()
+        assert accesses[pages[0]] == (2, 1)
+        assert accesses[pages[1]] == (0, 1)
+        assert accesses[pages[2]] == (0, 1)
+        assert (
+            sum(h + m for h, m in accesses.values())
+            == pool.stats.logical_reads
+        )
+        assert sum(m for _, m in accesses.values()) == pool.stats.physical_reads
+
+    def test_eviction_and_refetch_counts_second_miss(self):
+        disk = DiskManager()
+        pages = [disk.allocate().page_id for _ in range(3)]
+        pool = BufferPool(disk, capacity_bytes=DEFAULT_PAGE_SIZE * 2)
+        pool.fetch(pages[0])
+        pool.fetch(pages[1])
+        pool.fetch(pages[2])  # evicts pages[0]
+        pool.fetch(pages[0])  # second physical read of the same page
+        assert pool.page_accesses()[pages[0]] == (0, 2)
+
+    def test_reset_stats_clears_heat(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        pool = BufferPool(disk, capacity_bytes=DEFAULT_PAGE_SIZE * 2)
+        pool.fetch(page.page_id)
+        pool.reset_stats()
+        assert pool.page_accesses() == {}
+        pool.fetch(page.page_id)  # still resident: a pure hit now
+        assert pool.page_accesses()[page.page_id] == (1, 0)
+
+    def test_page_accesses_returns_copy(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        pool = BufferPool(disk, capacity_bytes=DEFAULT_PAGE_SIZE * 2)
+        pool.fetch(page.page_id)
+        snapshot = pool.page_accesses()
+        pool.fetch(page.page_id)
+        assert snapshot[page.page_id] == (0, 1)
+        assert pool.page_accesses()[page.page_id] == (1, 1)
+
+
+class TestHeatmapRendering:
+    def test_page_heats_sorted_and_ranked(self):
+        from repro.storage.heatmap import hottest, page_heats
+
+        heats = page_heats({5: (1, 1), 2: (9, 1), 9: (0, 1)})
+        assert [h.page_id for h in heats] == [2, 5, 9]
+        assert [h.page_id for h in hottest(heats, top=2)] == [2, 5]
+
+    def test_bin_heats_covers_sparse_range(self):
+        from repro.storage.heatmap import bin_heats, page_heats
+
+        heats = page_heats({0: (2, 1), 100: (0, 1)})
+        rows = bin_heats(heats, bins=4)
+        assert len(rows) == 4
+        assert sum(accesses for _, _, accesses, _ in rows) == 4
+        assert rows[0][2] == 3 and rows[-1][2] == 1
+
+    def test_render_strip_scales_intensity(self):
+        from repro.storage.heatmap import page_heats, render_strip
+
+        strip = render_strip(
+            page_heats({0: (99, 1), 1: (0, 1), 2: (0, 0)}), width=3
+        )
+        assert len(strip) == 3
+        assert strip[0] == "@"  # the hot page saturates the ramp
+        assert render_strip([], width=8) == "(no page accesses)"
+
+    def test_heat_dict_round_trips_counts(self):
+        from repro.storage.heatmap import heat_dict
+
+        data = heat_dict({"network": {3: (4, 2)}})
+        assert data["network"]["pages_touched"] == 1
+        assert data["network"]["accesses"] == 6
+        assert data["network"]["physical_reads"] == 2
+        assert data["network"]["pages"][0] == {
+            "page_id": 3, "hits": 4, "misses": 2,
+        }
