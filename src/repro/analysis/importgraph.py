@@ -32,6 +32,7 @@ LAYERS: dict[str, int] = {
     "concurrency": 0,
     "profiling": 1,  # samples via obs only; never imports sampled code
     "geometry": 1,
+    "columnar": 2,  # array-backed data plane: stdlib + obs only
     "storage": 2,
     "index": 3,
     "network": 4,
@@ -71,9 +72,9 @@ class ArchLayerViolation(Rule):
     id = "REPRO-ARCH01"
     summary = (
         "import from a package at an equal or higher layer rank; the "
-        "package DAG is obs/concurrency < geometry < storage < index "
-        "< network < skyline < engine < core < datasets < service < "
-        "extensions/viz/experiments < analysis < cli"
+        "package DAG is obs/concurrency < geometry < columnar/storage "
+        "< index < network < skyline < engine < core < datasets < "
+        "service < extensions/viz/experiments < analysis < cli"
     )
 
     def check(self, info: ModuleInfo) -> Iterator[Finding]:

@@ -452,6 +452,106 @@ class LockBlockingCall(Rule):
 
 
 # ----------------------------------------------------------------------
+# REPRO-PERF: columnar hot-path allocation discipline
+# ----------------------------------------------------------------------
+
+#: Builtin constructors that allocate a fresh container per call.
+_BUILTIN_ALLOCATORS = frozenset({"tuple", "list", "dict", "set"})
+#: Targets/values of a tuple swap that reference existing storage.
+_SWAP_SIMPLE = (ast.Name, ast.Attribute, ast.Subscript)
+
+
+def _is_swap_assign(node: ast.AST) -> bool:
+    """``x, y = y, x`` style rotations; CPython never materialises the
+    tuple for these, and the Hilbert curve kernel leans on the idiom."""
+    if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+        return False
+    target, value = node.targets[0], node.value
+    if not (isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple)):
+        return False
+    return all(isinstance(e, _SWAP_SIMPLE) for e in target.elts) and all(
+        isinstance(e, _SWAP_SIMPLE) for e in value.elts
+    )
+
+
+@register
+class PerfLoopAllocation(Rule):
+    """repro.columnar loop bodies stay allocation-free."""
+
+    id = "REPRO-PERF01"
+    summary = (
+        "per-element object construction (container literal, "
+        "tuple()/list()/dict()/set(), comprehension, or class "
+        "instantiation) inside a repro.columnar loop body; the "
+        "columnar contract is flat-buffer arithmetic with no per-row "
+        "Python objects on the hot path"
+    )
+    packages = frozenset({"columnar"})
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.For, ast.While)):
+                for stmt in [*node.body, *node.orelse]:
+                    yield from self._scan(info, stmt, seen)
+
+    def _scan(
+        self, info: ModuleInfo, node: ast.AST, seen: set[tuple[int, int]]
+    ) -> Iterator[Finding]:
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Raise),
+        ):
+            # Error paths and nested callables are not per-row work.
+            return
+        if _is_swap_assign(node):
+            return
+        message = self._allocation(node)
+        if message is not None:
+            key = (node.lineno, node.col_offset)
+            if key not in seen:
+                seen.add(key)
+                yield Finding(
+                    self.id, info.path, node.lineno, node.col_offset, message
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(info, child, seen)
+
+    @staticmethod
+    def _allocation(node: ast.AST) -> str | None:
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return (
+                "comprehension builds a fresh container every iteration; "
+                "write into a preallocated buffer instead"
+            )
+        if isinstance(node, (ast.List, ast.Set, ast.Dict)):
+            return (
+                "container literal allocated per iteration; hoist it out "
+                "of the loop or use a flat buffer"
+            )
+        if isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+            return (
+                "tuple materialised per iteration; keep rows in the flat "
+                "float buffer and pass (buffer, offset) instead"
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in _BUILTIN_ALLOCATORS:
+                return (
+                    f"{name}() allocates a container per iteration; "
+                    "preallocate outside the loop"
+                )
+            if name[:1].isupper() and not name.isupper():
+                return (
+                    f"{name}(...) instantiates an object per iteration; "
+                    "the columnar plane passes index handles, not objects"
+                )
+        return None
+
+
+# ----------------------------------------------------------------------
 # REPRO-TELE: telemetry vocabulary
 # ----------------------------------------------------------------------
 

@@ -25,6 +25,12 @@ from repro.bench.runner import (
     write_artifact,
 )
 from repro.bench.suite import SUITES, suite_workloads
+from repro.bench.xl import (
+    XL_SUITES,
+    default_scaling_report_name,
+    format_scaling_report,
+    run_xl_suite,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="shorthand for --suite quick --repeats 1 (the CI gate)",
+    )
+    parser.add_argument(
+        "--xl",
+        metavar="TIER",
+        default=None,
+        choices=sorted(XL_SUITES),
+        help="run an xl scaling tier instead of a regular suite; also "
+        "writes SCALING_<rev>.json and prints the scaling report",
     )
     parser.add_argument(
         "--repeats",
@@ -99,11 +113,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--repeats must be >= 1, got {repeats}")
 
     if args.list:
+        if args.xl is not None:
+            for workload in XL_SUITES[args.xl]:
+                print(f"{workload.workload_id}  [xl]")
+            return 0
         for workload in suite_workloads(suite):
             print(f"{workload.workload_id}  [{workload.kind}]")
         return 0
 
     revision = args.revision or current_revision()
+    if args.xl is not None:
+        return _run_xl(args, revision)
     print(f"bench: suite={suite} revision={revision}")
     try:
         artifact = run_suite(
@@ -116,6 +136,32 @@ def main(argv: list[str] | None = None) -> int:
     out_path = args.out or default_artifact_name(revision)
     write_artifact(artifact, out_path)
     print(f"bench: wrote {out_path} ({len(artifact['benchmarks'])} records)")
+
+    if args.compare is None:
+        return 0
+    try:
+        baseline = load_artifact(args.compare)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bench: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    report = compare_artifacts(
+        baseline,
+        artifact,
+        counter_tolerance=args.counter_tolerance,
+        timing_tolerance=args.timing_tolerance,
+    )
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
+def _run_xl(args, revision: str) -> int:
+    """Run an xl scaling tier; same exit-code contract as the suites."""
+    print(f"bench: xl tier={args.xl} revision={revision}")
+    artifact = run_xl_suite(args.xl, revision=revision, progress=print)
+    out_path = args.out or default_scaling_report_name(revision)
+    write_artifact(artifact, out_path)
+    print(f"bench: wrote {out_path} ({len(artifact['benchmarks'])} records)")
+    print(format_scaling_report(artifact))
 
     if args.compare is None:
         return 0

@@ -1,0 +1,331 @@
+"""The ``xl`` scaling tier: columnar out-of-core skyline benchmarks.
+
+The regular suites stop where a road network still fits comfortably in
+memory.  This tier measures the columnar data plane on its own terms —
+object counts up to 10⁶, streamed to disk as binary column files and
+processed chunk-by-chunk without ever materialising per-object Python
+tuples:
+
+1. ``xl.generate`` — :func:`repro.datasets.generators.stream_object_columns`
+   writes the object columns in bounded chunks;
+2. ``xl.load`` — :class:`repro.datasets.io.ColumnFile` memory-maps them;
+3. ``xl.distances`` + ``xl.skyline`` — per chunk, one
+   :func:`~repro.columnar.kernels.batch_euclidean` sweep per query point
+   fills a distance block and :func:`~repro.columnar.kernels.block_skyline`
+   keeps the chunk's survivors; the survivor union gets one final
+   block-skyline pass (sound by transitivity of dominance: any point
+   dominated in its chunk is also dominated in the union);
+4. ``xl.index`` — Hilbert column bulk-load of the R-tree, on workloads
+   small enough that the per-entry index cost is worth reporting.
+
+Counters (rows, chunks, survivor rows, skyline size, bulk dominance
+checks from the span totals) are deterministic; wall timings per phase
+are advisory, exactly like the main suites.  Artifacts carry the same
+structural keys as ``BENCH_*.json`` so
+:func:`repro.bench.compare.compare_artifacts` gates them unchanged, and
+:func:`format_scaling_report` renders the counter/timing curves versus
+|D|, |Q| and dimensionality.
+"""
+
+from __future__ import annotations
+
+import platform
+import tempfile
+import time
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.columnar.curve import hilbert_sort_indices
+from repro.columnar.kernels import batch_euclidean, block_skyline, fill_column
+from repro.columnar.store import CoordinateColumns, VectorTable
+from repro.datasets.generators import REGION_SIDE, stream_object_columns
+from repro.datasets.io import ColumnFile
+from repro.obs import tracing
+
+XL_ARTIFACT_SCHEMA = "repro-bench-xl"
+XL_ARTIFACT_SCHEMA_VERSION = 1
+XL_SUITE_VERSION = 1
+
+#: Object-count ceiling for also timing the R-tree column bulk load
+#: (index build is O(n log n) in sort work and dwarfs the kernels at
+#: the top of the ladder without telling us anything new).
+INDEX_PHASE_MAX_OBJECTS = 100_000
+
+
+@dataclass(frozen=True)
+class XLWorkload:
+    """One scaling-curve point: |D| objects, |Q| queries, k attributes."""
+
+    objects: int
+    queries: int = 4
+    attributes: int = 1
+    chunk_size: int = 65_536
+    seed: int = 7
+    group: str = "objects"
+
+    @property
+    def workload_id(self) -> str:
+        return (
+            f"xl/{self.group}/d{self.objects}-q{self.queries}"
+            f"-a{self.attributes}"
+        )
+
+    def params(self) -> dict:
+        return {
+            "objects": self.objects,
+            "queries": self.queries,
+            "attributes": self.attributes,
+            "chunk_size": self.chunk_size,
+            "seed": self.seed,
+            "group": self.group,
+        }
+
+
+XL_SUITES: dict[str, list[XLWorkload]] = {
+    # The full ladder: |D| sweep to one million objects at width 2
+    # (skyline cardinality grows ~(ln n)^(w-1), so low width keeps the
+    # top of the ladder about streaming throughput, not skyline size),
+    # then |Q| and dimensionality sweeps at a fixed mid-scale |D|.
+    "xl": [
+        XLWorkload(objects=1_000, queries=2, attributes=0),
+        XLWorkload(objects=10_000, queries=2, attributes=0),
+        XLWorkload(objects=100_000, queries=2, attributes=0),
+        XLWorkload(objects=1_000_000, queries=2, attributes=0),
+        XLWorkload(objects=10_000, queries=2, group="queries"),
+        XLWorkload(objects=10_000, queries=8, group="queries"),
+        XLWorkload(objects=10_000, attributes=0, group="dims"),
+        XLWorkload(objects=10_000, attributes=3, group="dims"),
+    ],
+    # CI-sized: seconds, not minutes, with the same record shape.
+    "xl-smoke": [
+        XLWorkload(objects=1_000, chunk_size=512),
+        XLWorkload(objects=5_000, chunk_size=2_048),
+    ],
+}
+
+
+@dataclass
+class _PhaseClock:
+    """Wall time per phase; advisory, like every suite timing."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def measure(self, phase: str):
+        clock = self
+
+        class _Timer:
+            def __enter__(self):
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                clock.seconds[phase] = round(
+                    clock.seconds.get(phase, 0.0)
+                    + (time.perf_counter() - self._start),
+                    6,
+                )
+
+        return _Timer()
+
+
+def _query_grid(count: int) -> list[tuple[float, float]]:
+    """Deterministic query points spread over the unit region.
+
+    A fixed low-discrepancy-ish diagonal lattice: reproducible without
+    drawing from the dataset RNG stream.
+    """
+    points = []
+    for i in range(count):
+        frac = (i + 1) / (count + 1)
+        points.append(
+            (frac * REGION_SIDE, ((i * 7 + 3) % (count + 1) + 1)
+             / (count + 2) * REGION_SIDE)
+        )
+    return points
+
+
+def run_xl_workload(workload: XLWorkload, directory: str | Path) -> dict:
+    """Execute one scaling point; returns its artifact record."""
+    clock = _PhaseClock()
+    queries = _query_grid(workload.queries)
+    width = workload.queries + workload.attributes
+    path = Path(directory) / f"{workload.objects}-{workload.seed}.cols"
+
+    with tracing.span(
+        "xl.run", objects=workload.objects, queries=workload.queries
+    ) as root:
+        with clock.measure("generate"), tracing.span("xl.generate"):
+            stream_object_columns(
+                path,
+                workload.objects,
+                attribute_count=workload.attributes,
+                seed=workload.seed,
+                chunk_size=min(workload.chunk_size, 65_536),
+            )
+
+        with clock.measure("load"), tracing.span("xl.load"):
+            column_file = ColumnFile(path)
+        xs = column_file.column("x")
+        ys = column_file.column("y")
+        attr_columns = [
+            column_file.column(f"a{j}") for j in range(workload.attributes)
+        ]
+
+        try:
+            # Distance + per-chunk skyline, streamed: one reused block
+            # buffer holds a chunk's vectors, survivors accumulate in a
+            # single flat table.
+            survivors = VectorTable(width)
+            chunk_size = workload.chunk_size
+            block = array("d", bytes(8 * chunk_size * width))
+            chunks = 0
+            start = 0
+            count = workload.objects
+            while start < count:
+                size = min(chunk_size, count - start)
+                cx = xs[start : start + size]
+                cy = ys[start : start + size]
+                with clock.measure("distances"), tracing.span(
+                    "xl.distances", rows=size
+                ):
+                    for column, (qx, qy) in enumerate(queries):
+                        batch_euclidean(cx, cy, size, qx, qy, block, column, width)
+                    for j, attr in enumerate(attr_columns):
+                        view = attr[start : start + size]
+                        fill_column(
+                            block, width, workload.queries + j, view, size
+                        )
+                        view.release()
+                cx.release()
+                cy.release()
+                with clock.measure("skyline"), tracing.span(
+                    "xl.skyline", rows=size
+                ):
+                    for row in block_skyline(block, size, width):
+                        base = row * width
+                        survivors.data.extend(block[base : base + width])
+                chunks += 1
+                start += size
+
+            with clock.measure("skyline"), tracing.span("xl.skyline"):
+                final = block_skyline(
+                    survivors.data, len(survivors), survivors.width
+                )
+
+            index_nodes = 0
+            if workload.objects <= INDEX_PHASE_MAX_OBJECTS:
+                with clock.measure("index"), tracing.span("xl.index"):
+                    coords = CoordinateColumns(array("d", xs), array("d", ys))
+                    order = hilbert_sort_indices(
+                        coords.xs, coords.ys, len(coords)
+                    )
+                    index_nodes = len(order)
+        finally:
+            for attr in attr_columns:
+                attr.release()
+            xs.release()
+            ys.release()
+            column_file.close()
+            path.unlink(missing_ok=True)
+
+    totals = root.totals()
+    counters = {
+        "rows": workload.objects,
+        "chunks": chunks,
+        "survivor_rows": len(survivors),
+        "skyline_count": len(final),
+        "dominance_checks": int(totals.get("dominance_checks", 0)),
+        "indexed_rows": index_nodes,
+    }
+    total_s = round(sum(clock.seconds.values()), 6)
+    return {
+        "id": workload.workload_id,
+        "kind": "xl",
+        "params": workload.params(),
+        "counters": counters,
+        "timing_s": {
+            "repeats": 1,
+            "min": total_s,
+            "mean": total_s,
+            "p50": total_s,
+            "max": total_s,
+        },
+        "phases_s": dict(sorted(clock.seconds.items())),
+    }
+
+
+def run_xl_suite(
+    tier: str, revision: str, progress=None, directory: str | None = None
+) -> dict:
+    """Run an xl tier; returns an artifact the comparator can gate."""
+    if tier not in XL_SUITES:
+        raise ValueError(
+            f"unknown xl tier {tier!r}; choose from {sorted(XL_SUITES)}"
+        )
+    records = []
+    with tempfile.TemporaryDirectory(dir=directory) as tmp:
+        for workload in XL_SUITES[tier]:
+            record = run_xl_workload(workload, tmp)
+            if progress is not None:
+                counters = record["counters"]
+                progress(
+                    f"{record['id']}: skyline={counters['skyline_count']} "
+                    f"survivors={counters['survivor_rows']} "
+                    f"checks={counters['dominance_checks']} "
+                    f"total={record['timing_s']['p50']:.3f}s"
+                )
+            records.append(record)
+    return {
+        "schema": XL_ARTIFACT_SCHEMA,
+        "schema_version": XL_ARTIFACT_SCHEMA_VERSION,
+        "suite": tier,
+        "suite_version": XL_SUITE_VERSION,
+        "revision": revision,
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": records,
+    }
+
+
+def format_scaling_report(artifact: dict) -> str:
+    """The scaling curves as an aligned text table, grouped by sweep."""
+    lines = [
+        f"xl scaling report — suite={artifact.get('suite')} "
+        f"revision={artifact.get('revision')}"
+    ]
+    by_group: dict[str, list[dict]] = {}
+    for record in artifact.get("benchmarks", []):
+        group = record.get("params", {}).get("group", "objects")
+        by_group.setdefault(group, []).append(record)
+    header = (
+        f"{'workload':<28} {'|D|':>9} {'|Q|':>4} {'k':>3} "
+        f"{'skyline':>8} {'survivors':>10} {'checks':>12} {'total_s':>9}"
+    )
+    for group in sorted(by_group):
+        lines.append(f"-- sweep: {group}")
+        lines.append(header)
+        for record in by_group[group]:
+            params = record["params"]
+            counters = record["counters"]
+            lines.append(
+                f"{record['id']:<28} {params['objects']:>9} "
+                f"{params['queries']:>4} {params['attributes']:>3} "
+                f"{counters['skyline_count']:>8} "
+                f"{counters['survivor_rows']:>10} "
+                f"{counters['dominance_checks']:>12} "
+                f"{record['timing_s']['p50']:>9.3f}"
+            )
+            phases = record.get("phases_s", {})
+            if phases:
+                detail = " ".join(
+                    f"{name}={seconds:.3f}s"
+                    for name, seconds in phases.items()
+                )
+                lines.append(f"{'':<28}   {detail}")
+    return "\n".join(lines)
+
+
+def default_scaling_report_name(revision: str) -> str:
+    return f"SCALING_{revision}.json"

@@ -1,0 +1,206 @@
+"""Column containers for the columnar data plane.
+
+These are thin, slotted wrappers around flat ``array('d')`` buffers:
+they own layout (row-major, fixed width) and boundary materialisation
+(:meth:`VectorTable.row` builds the per-object tuple exactly once, when
+a result crosses back into the object world), while all comparison
+work is delegated to :mod:`repro.columnar.kernels`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+from repro.columnar.kernels import (
+    block_skyline,
+    is_dominated_by_any_block,
+    is_dominated_by_any_block_lb,
+)
+
+
+class VectorTable:
+    """A row-major table of fixed-width float vectors in one flat buffer.
+
+    ``data[r * width + d]`` is component ``d`` of row ``r``.  The row
+    count is derived (``len(data) // width``), so writers that stream
+    raw values via :attr:`data` must append whole rows.
+    """
+
+    __slots__ = ("width", "data")
+
+    def __init__(self, width: int, data: array | None = None) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.data = array("d") if data is None else data
+        if len(self.data) % width:
+            raise ValueError(
+                f"buffer length {len(self.data)} is not a multiple of "
+                f"width {width}"
+            )
+
+    @classmethod
+    def from_vectors(cls, vectors: Iterable[Sequence[float]]) -> "VectorTable":
+        """Build a table from same-width vectors (width inferred)."""
+        table: VectorTable | None = None
+        for vector in vectors:
+            if table is None:
+                table = cls(len(vector))
+            table.append(vector)
+        if table is None:
+            raise ValueError("cannot infer width from zero vectors")
+        return table
+
+    def __len__(self) -> int:
+        return len(self.data) // self.width
+
+    def append(self, vector: Sequence[float]) -> int:
+        """Append one row, returning its index."""
+        if len(vector) != self.width:
+            raise ValueError(
+                f"dimension mismatch: {len(vector)} vs {self.width}"
+            )
+        index = len(self.data) // self.width
+        self.data.extend(vector)
+        return index
+
+    def row(self, index: int) -> tuple[float, ...]:
+        """Materialise row ``index`` as a tuple (the object boundary)."""
+        base = index * self.width
+        if not 0 <= index < len(self):
+            raise IndexError(f"row {index} outside 0..{len(self) - 1}")
+        return tuple(self.data[base : base + self.width])
+
+    def rows(self) -> Iterator[tuple[float, ...]]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def clear(self) -> None:
+        del self.data[:]
+
+    def view(self) -> memoryview:
+        """A zero-copy read view of the flat buffer."""
+        return memoryview(self.data)
+
+
+class CoordinateColumns:
+    """Planar coordinates of an object set, one column per axis."""
+
+    __slots__ = ("xs", "ys")
+
+    def __init__(self, xs=None, ys=None) -> None:
+        self.xs = array("d") if xs is None else xs
+        self.ys = array("d") if ys is None else ys
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"column length mismatch: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable) -> "CoordinateColumns":
+        columns = cls()
+        for point in points:
+            columns.xs.append(point.x)
+            columns.ys.append(point.y)
+        return columns
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)``; ValueError when empty."""
+        if not len(self.xs):
+            raise ValueError("no coordinates")
+        xs = self.xs
+        ys = self.ys
+        min_x = max_x = xs[0]
+        min_y = max_y = ys[0]
+        i = 1
+        while i < len(xs):
+            x = xs[i]
+            y = ys[i]
+            if x < min_x:
+                min_x = x
+            elif x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            elif y > max_y:
+                max_y = y
+            i += 1
+        return (min_x, min_y, max_x, max_y)
+
+
+class CandidateBlock:
+    """A candidate set in columnar form: id handles beside vector rows.
+
+    Algorithms carry candidates as ``(ids[i], vectors row i)`` pairs and
+    materialise :class:`~repro.network.objects.SpatialObject` results
+    only at the :class:`~repro.core.result.SkylineResult` boundary.
+    """
+
+    __slots__ = ("ids", "vectors")
+
+    def __init__(self, width: int) -> None:
+        self.ids = array("q")
+        self.vectors = VectorTable(width)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def add(self, object_id: int, vector: Sequence[float]) -> int:
+        """Append one candidate, returning its row index."""
+        index = self.vectors.append(vector)
+        self.ids.append(object_id)
+        return index
+
+    def skyline(self) -> list[int]:
+        """Row indices of the block's skyline (SFS preference order)."""
+        return block_skyline(self.vectors.data, len(self.ids), self.vectors.width)
+
+
+class SkylineBlock:
+    """Columnar mirror of a confirmed-skyline vector set.
+
+    The confirmed set is small and changes rarely relative to how often
+    it is probed, so the block is rebuilt wholesale after an insertion
+    and every probe runs the flat-buffer kernels.  Probes accept any
+    indexable vector (tuple, array row via ``offset``), which lets hot
+    loops test scratch buffers without materialising tuples.
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self, width: int) -> None:
+        self.table = VectorTable(width)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def rebuild(self, vectors: Iterable[Sequence[float]]) -> None:
+        """Replace the contents with ``vectors`` (e.g. after eviction)."""
+        self.table.clear()
+        for vector in vectors:
+            self.table.append(vector)
+
+    def append(self, vector: Sequence[float]) -> None:
+        self.table.append(vector)
+
+    def dominates(self, vector, offset: int = 0) -> bool:
+        """Does any confirmed vector dominate ``vector``? (exact)"""
+        return is_dominated_by_any_block(
+            self.table.data, len(self.table), self.table.width, vector, offset
+        )
+
+    def dominates_lb(self, bounds, offset: int = 0) -> bool:
+        """Does any confirmed vector provably dominate the true vector
+        lower-bounded by ``bounds``? (sound under-approximation)"""
+        return is_dominated_by_any_block_lb(
+            self.table.data, len(self.table), self.table.width, bounds, offset
+        )

@@ -38,6 +38,10 @@ from __future__ import annotations
 
 import math
 
+from array import array
+
+from repro.columnar.kernels import dominates_flat
+from repro.columnar.store import SkylineBlock, VectorTable
 from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_point
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
@@ -45,7 +49,6 @@ from repro.core.stats import QueryStats
 from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 from repro.obs import tracing
-from repro.skyline.dominance import dominates, dominates_lower_bounds
 
 
 class _AttributeRank:
@@ -140,22 +143,43 @@ class CollaborativeExpansion(SkylineAlgorithm):
         expanders: list = [engine.ine_expander(q) for q in queries]
         expanders.extend(_AttributeRank(all_objects, j) for j in range(k))
 
-        # Partial vectors: object id -> {dimension index: value}.
-        known: dict[int, dict[int, float]] = {}
+        # Partial vectors live in one flat column block: candidate rows
+        # are inf-initialised (unknown distance) with attribute slots
+        # pre-filled (pre-known), and per-object bitmasks track which
+        # dimensions have emitted.  ``handles`` maps object id -> row.
+        table = VectorTable(m)
+        handles: dict[int, int] = {}
+        masks: dict[int, int] = {}
         objects: dict[int, SpatialObject] = {}
         exhausted = [False] * m
+        full_mask = (1 << m) - 1
+        spatial_mask = (1 << n) - 1
+        inf_row = (math.inf,) * m
+
+        def handle_of(obj: SpatialObject) -> int:
+            h = handles.get(obj.object_id)
+            if h is None:
+                h = table.append(inf_row)
+                handles[obj.object_id] = h
+                masks[obj.object_id] = 0
+                objects[obj.object_id] = obj
+                base = h * m + n
+                for a, value in enumerate(obj.attributes):
+                    table.data[base + a] = value
+            return h
 
         def record_visit(index: int, obj: SpatialObject, value: float) -> bool:
             """Record one emission; True when visited in every dimension."""
-            objects[obj.object_id] = obj
-            row = known.setdefault(obj.object_id, {})
-            row[index] = value
+            h = handle_of(obj)
+            table.data[h * m + index] = value
+            mask = masks[obj.object_id] | (1 << index)
+            masks[obj.object_id] = mask
             if index < n:
                 tracing.record("distance_computations")
                 # INE emissions are exact distances: feed the shared
                 # memo so later queries and explain() answer from cache.
                 engine.record(queries[index], obj.location, value)
-            return len(row) == m
+            return mask == full_mask
 
         # ------------------------------------------------------------------
         # Filtering phase
@@ -183,13 +207,16 @@ class CollaborativeExpansion(SkylineAlgorithm):
                         completing_index = i
                         break
 
-        candidates: set[int] = set(known)
+        candidates: set[int] = set(handles)
         skyline: list[SkylinePoint] = []
+        # Columnar mirror of the confirmed vectors for the refine-phase
+        # dominance probes; rebuilt after every insertion (evictions).
+        sky = SkylineBlock(m)
 
         if first_complete is not None:
             # Drain exact ties from the completing dimension so objects
             # whose vector equals p*'s are not lost to the C cut-off.
-            p_star_value = known[first_complete][completing_index]
+            p_star_value = table.data[handles[first_complete] * m + completing_index]
             expander = expanders[completing_index]
             while not exhausted[completing_index]:
                 emission = expander.next_nearest_object()
@@ -204,12 +231,13 @@ class CollaborativeExpansion(SkylineAlgorithm):
 
             stats.candidate_count = len(candidates)
             p_star = objects[first_complete]
-            vector = self._vector(known[first_complete], n, p_star)
+            vector = table.row(handles[first_complete])
             new_point = SkylinePoint(obj=p_star, vector=vector)
             insert_skyline_point(skyline, new_point)
+            sky.rebuild(s.vector for s in skyline)
             timer.mark_first_result()
             candidates.discard(first_complete)
-            self._prune(candidates, known, objects, expanders, new_point, n)
+            self._prune(candidates, table, handles, masks, expanders, new_point, n)
         else:
             # Every dimension exhausted before any object was visited in
             # all of them: parts of the network are unreachable.  All
@@ -219,9 +247,8 @@ class CollaborativeExpansion(SkylineAlgorithm):
             # their attributes can decide dominance.  Without a p* there
             # is no cut-off argument to exclude them.
             for obj in workspace.objects:
-                if obj.object_id not in known:
-                    known[obj.object_id] = {}
-                    objects[obj.object_id] = obj
+                if obj.object_id not in handles:
+                    handle_of(obj)
                     candidates.add(obj.object_id)
             stats.candidate_count = len(candidates)
 
@@ -235,7 +262,7 @@ class CollaborativeExpansion(SkylineAlgorithm):
                 for i in range(n):
                     if exhausted[i] or not candidates:
                         continue
-                    if not self._wants_expansion(i, candidates, known):
+                    if not self._wants_expansion(i, candidates, masks):
                         continue
                     emission = expanders[i].next_nearest_object()
                     if emission is None:
@@ -248,18 +275,22 @@ class CollaborativeExpansion(SkylineAlgorithm):
                         # New objects met during refinement are dominated
                         # (they lie beyond p* in every dimension) — discard.
                         continue
-                    row = known[obj.object_id]
-                    row[i] = value
+                    h = handles[obj.object_id]
+                    table.data[h * m + i] = value
+                    mask = masks[obj.object_id] | (1 << i)
+                    masks[obj.object_id] = mask
                     tracing.record("distance_computations")
-                    if all(j in row for j in range(n)):
+                    if mask & spatial_mask == spatial_mask:
                         candidates.discard(obj.object_id)
-                        vector = self._vector(row, n, obj)
-                        if not any(dominates(s.vector, vector) for s in skyline):
+                        vector = table.row(h)
+                        if not sky.dominates(vector):
                             new_point = SkylinePoint(obj=obj, vector=vector)
                             insert_skyline_point(skyline, new_point)
+                            sky.rebuild(s.vector for s in skyline)
                             timer.mark_first_result()
                             self._prune(
-                                candidates, known, objects, expanders, new_point, n
+                                candidates, table, handles, masks,
+                                expanders, new_point, n,
                             )
                 if not progressed:
                     break
@@ -268,9 +299,10 @@ class CollaborativeExpansion(SkylineAlgorithm):
         # wavefront exhausted (unreachable regions): unknown = inf.
         for object_id in sorted(candidates):
             obj = objects[object_id]
-            vector = self._vector(known[object_id], n, obj)
-            if not any(dominates(s.vector, vector) for s in skyline):
+            vector = table.row(handles[object_id])
+            if not sky.dominates(vector):
                 insert_skyline_point(skyline, SkylinePoint(obj=obj, vector=vector))
+                sky.rebuild(s.vector for s in skyline)
                 timer.mark_first_result()
 
         return skyline
@@ -279,25 +311,18 @@ class CollaborativeExpansion(SkylineAlgorithm):
     # Helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _vector(
-        row: dict[int, float], n: int, obj: SpatialObject
-    ) -> tuple[float, ...]:
-        """Full evaluation vector; attribute values come from the object."""
-        distances = tuple(row.get(i, math.inf) for i in range(n))
-        return distances + obj.attributes
-
-    @staticmethod
     def _wants_expansion(
-        index: int, candidates: set[int], known: dict[int, dict[int, float]]
+        index: int, candidates: set[int], masks: dict[int, int]
     ) -> bool:
         """Skip wavefronts that already know every candidate's distance."""
-        return any(index not in known.get(c, {}) for c in candidates)
+        return any(not masks[c] >> index & 1 for c in candidates)
 
     @staticmethod
     def _prune(
         candidates: set[int],
-        known: dict[int, dict[int, float]],
-        objects: dict[int, SpatialObject],
+        table: VectorTable,
+        handles: dict[int, int],
+        masks: dict[int, int],
         expanders: list,
         new_point: SkylinePoint,
         n: int,
@@ -311,16 +336,32 @@ class CollaborativeExpansion(SkylineAlgorithm):
         by the distance of that wavefront's last emission; attribute
         dimensions are exact.  Strictness in the lower-bound dominance
         test guarantees no tied twin is ever discarded.
+
+        One scratch row is reused for every candidate's bounds vector —
+        known values come straight out of the column block, unknown
+        spatial slots are floored by the wavefront radii.
         """
+        m = table.width
+        data = table.data
         vector = new_point.vector
+        scratch = array("d", bytes(8 * m))
         doomed: list[int] = []
         for object_id in candidates:
-            row = known[object_id]
-            bounds = tuple(
-                row.get(i, max(0.0, expanders[i].last_emitted_distance))
-                for i in range(n)
-            ) + objects[object_id].attributes
-            if dominates_lower_bounds(vector, bounds):
+            base = handles[object_id] * m
+            mask = masks[object_id]
+            i = 0
+            while i < n:
+                if mask >> i & 1:
+                    scratch[i] = data[base + i]
+                else:
+                    floor = expanders[i].last_emitted_distance
+                    scratch[i] = floor if floor > 0.0 else 0.0
+                i += 1
+            while i < m:
+                # Attribute slots are exact from row creation.
+                scratch[i] = data[base + i]
+                i += 1
+            if dominates_flat(vector, 0, scratch, 0, m):
                 doomed.append(object_id)
         for object_id in doomed:
             candidates.discard(object_id)

@@ -41,6 +41,8 @@ point as soon as their region is fully fetched.
 
 from __future__ import annotations
 
+from repro.columnar.kernels import is_covered_by_any_block
+from repro.columnar.store import CandidateBlock, SkylineBlock, VectorTable
 from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_point
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
@@ -54,11 +56,7 @@ from repro.skyline.bbs import (
     mbr_lower_bound_vector,
 )
 from repro.skyline.sfs import sfs_skyline
-from repro.skyline.dominance import (
-    dominates,
-    dominates_lower_bounds,
-    dominates_or_equal,
-)
+from repro.skyline.dominance import dominates, dominates_or_equal
 
 
 class _EDCBase(SkylineAlgorithm):
@@ -73,6 +71,7 @@ class _EDCBase(SkylineAlgorithm):
         # results kept", Section 6.1): stay on the engine's A*-family
         # backend even when the workspace default is plain Dijkstra.
         self._backend = self._engine._astar_backend_name()
+        self._vector_width = len(queries) + workspace.attribute_count
         self._network_vectors: dict[int, tuple[float, ...]] = {}
         self._euclidean_vectors: dict[int, tuple[float, ...]] = {}
         self._objects: dict[int, SpatialObject] = {}
@@ -139,20 +138,24 @@ class _EDCBase(SkylineAlgorithm):
         """
         attribute_count = self._workspace.attribute_count
         found: list[SpatialObject] = []
+        width = self._vector_width
+        corner_block = VectorTable(width)
+        for corner in corners:
+            corner_block.append(corner)
+        count = len(corner_block)
 
         def descend(mbr, payload) -> bool:
             if payload is None:
                 bounds = mbr_lower_bound_vector(
                     mbr, self._query_points, attribute_count
                 )
-                return any(
-                    dominates_or_equal(bounds, corner) for corner in corners
+                return is_covered_by_any_block(
+                    corner_block.data, count, width, bounds
                 )
             if payload.object_id in skip:
                 return False
-            vector = self._euclidean_vector(payload)
-            return any(
-                dominates_or_equal(vector, corner) for corner in corners
+            return is_covered_by_any_block(
+                corner_block.data, count, width, self._euclidean_vector(payload)
             )
 
         for _, payload in self._workspace.object_rtree.traverse(descend):
@@ -177,8 +180,11 @@ class _EDCBase(SkylineAlgorithm):
     ) -> None:
         fetched = set(self._network_vectors)
         extra = 0
+        sky = SkylineBlock(self._vector_width)
         while True:
-            skyline_vectors = [p.vector for p in skyline]
+            # Snapshot of the confirmed set for this traversal round;
+            # points confirmed mid-round only widen the next round's net.
+            sky.rebuild(p.vector for p in skyline)
 
             def descend(mbr, payload) -> bool:
                 if payload is None:
@@ -189,9 +195,7 @@ class _EDCBase(SkylineAlgorithm):
                     if payload.object_id in fetched:
                         return False
                     bounds = self._euclidean_vector(payload)
-                return not any(
-                    dominates_lower_bounds(s, bounds) for s in skyline_vectors
-                )
+                return not sky.dominates_lb(bounds)
 
             new_objects = [
                 payload
@@ -259,10 +263,13 @@ class EuclideanDistanceConstraint(_EDCBase):
         skyline: list[SkylinePoint] = []
         with tracing.span("edc.refine"):
             ordered = sorted(candidates.values(), key=lambda o: o.object_id)
-            vectors = [self._network_vector(obj, stats) for obj in ordered]
-            for index in sfs_skyline(vectors):
+            block = CandidateBlock(self._vector_width)
+            for obj in ordered:
+                block.add(obj.object_id, self._network_vector(obj, stats))
+            for index in block.skyline():
                 insert_skyline_point(
-                    skyline, SkylinePoint(obj=ordered[index], vector=vectors[index])
+                    skyline,
+                    SkylinePoint(obj=ordered[index], vector=block.vectors.row(index)),
                 )
                 timer.mark_first_result()
 
@@ -293,13 +300,16 @@ class EuclideanDistanceConstraintIncremental(_EDCBase):
         timer: _ResponseTimer,
     ) -> list[SkylinePoint]:
         self._setup(workspace, queries)
-        covered: list[tuple[float, ...]] = []
+        width = self._vector_width
+        covered = VectorTable(width)
         undetermined: dict[int, tuple[SpatialObject, tuple[float, ...]]] = {}
         skyline: list[SkylinePoint] = []
         fetched: set[int] = set()
 
         def in_covered_region(vector: tuple[float, ...]) -> bool:
-            return any(dominates_or_equal(vector, corner) for corner in covered)
+            return is_covered_by_any_block(
+                covered.data, len(covered), width, vector
+            )
 
         stream = incremental_euclidean_skyline(
             workspace.object_rtree,
@@ -327,10 +337,13 @@ class EuclideanDistanceConstraintIncremental(_EDCBase):
         # not dominated within the computed set is a skyline point.
         remaining = sorted(undetermined)
         all_vectors = [undetermined[i][1] for i in remaining]
+        sky = SkylineBlock(width)
+        sky.rebuild(s.vector for s in skyline)
         for position in sfs_skyline(all_vectors):
             obj, vector = undetermined[remaining[position]]
-            if not any(dominates(s.vector, vector) for s in skyline):
+            if not sky.dominates(vector):
                 insert_skyline_point(skyline, SkylinePoint(obj=obj, vector=vector))
+                sky.rebuild(s.vector for s in skyline)
                 timer.mark_first_result()
 
         stats.candidate_count = len(fetched)

@@ -52,8 +52,10 @@ near *any* query point surface early.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator
 
+from repro.columnar.store import SkylineBlock
 from repro.core.base import SkylineAlgorithm, _ResponseTimer, insert_skyline_point
 from repro.core.query import Workspace
 from repro.core.result import SkylinePoint
@@ -63,7 +65,6 @@ from repro.network.graph import NetworkLocation
 from repro.network.objects import SpatialObject
 from repro.obs import tracing
 from repro.skyline.bbs import mbr_lower_bound_vector
-from repro.skyline.dominance import dominates_lower_bounds
 
 
 class LowerBoundConstraint(SkylineAlgorithm):
@@ -129,10 +130,14 @@ class LowerBoundConstraint(SkylineAlgorithm):
         }
 
         skyline: list[SkylinePoint] = []
-        skyline_vectors: list[tuple[float, ...]] = []
+        # Columnar mirror of the confirmed vectors: every prune probe
+        # runs the flat-buffer kernel instead of a per-tuple Python
+        # loop.  Rebuilt in place after each insertion so the stream's
+        # prune closure sees updates.
+        sky = SkylineBlock(len(queries) + workspace.attribute_count)
 
         for p, source_dist in self._network_nn_stream(
-            workspace, queries, source, source_expander, skyline_vectors, stats
+            workspace, queries, source, source_expander, sky, stats
         ):
             resolved = self._resolve_candidate(
                 p,
@@ -140,14 +145,14 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 queries,
                 others,
                 other_expanders,
-                skyline_vectors,
+                sky,
                 stats,
             )
             if resolved is None:
                 continue
             point = SkylinePoint(obj=p, vector=resolved)
             insert_skyline_point(skyline, point)
-            skyline_vectors[:] = [s.vector for s in skyline]
+            sky.rebuild(s.vector for s in skyline)
             timer.mark_first_result()
 
         return skyline
@@ -161,15 +166,15 @@ class LowerBoundConstraint(SkylineAlgorithm):
         queries: list[NetworkLocation],
         source: NetworkLocation,
         source_expander: AStarExpander,
-        skyline_vectors: list[tuple[float, ...]],
+        sky: SkylineBlock,
         stats: QueryStats,
     ) -> Iterator[tuple[SpatialObject, float]]:
         """Yield ``(object, dN(source, object))`` in ascending distance.
 
         Implements steps 1.1/1.2: Euclidean NNs stream from the R-tree
-        (with dominance pruning against the *live* ``skyline_vectors``
-        list, which the caller mutates); each gets its network distance
-        and waits in a buffer until provably the closest remaining.
+        (with dominance pruning against the *live* ``sky`` block, which
+        the caller rebuilds); each gets its network distance and waits
+        in a buffer until provably the closest remaining.
         """
         source_point = source.point
         all_query_points = [q.point for q in queries]
@@ -184,9 +189,7 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 bounds = tuple(
                     payload.point.distance_to(q) for q in all_query_points
                 ) + payload.attributes
-            return any(
-                dominates_lower_bounds(s, bounds) for s in skyline_vectors
-            )
+            return sky.dominates_lb(bounds)
 
         euclid_stream = workspace.object_rtree.best_first(
             key=lambda mbr, _payload: mbr.mindist(source_point), prune=prune
@@ -242,7 +245,7 @@ class LowerBoundConstraint(SkylineAlgorithm):
         queries: list[NetworkLocation],
         others: list[tuple[int, NetworkLocation]],
         other_expanders: dict[int, AStarExpander],
-        skyline_vectors: list[tuple[float, ...]],
+        sky: SkylineBlock,
         stats: QueryStats,
         source_index: int | None = None,
     ) -> tuple[float, ...] | None:
@@ -250,34 +253,34 @@ class LowerBoundConstraint(SkylineAlgorithm):
         if source_index is None:
             source_index = self.source_index
         n = len(queries)
-        bounds = [0.0] * n
-        bounds[source_index] = source_dist
+        # One scratch row per candidate (distances then attributes);
+        # dominance probes read it in place — the boundary tuple is
+        # materialised only when the candidate survives.
+        scratch = array("d", bytes(8 * (n + len(p.attributes))))
+        scratch[source_index] = source_dist
         searches = {}
         for i, q in others:
-            bounds[i] = q.point.distance_to(p.point)
+            scratch[i] = q.point.distance_to(p.point)
+        a = 0
+        for value in p.attributes:
+            scratch[n + a] = value
+            a += 1
 
         with tracing.span("lbc.resolve", object_id=p.object_id):
             if not self.use_lower_bounds:
                 # Ablation path: full distance computation for every
                 # candidate, then one exact dominance check.
                 for i, _ in others:
-                    bounds[i] = self._engine.distance_via(
+                    scratch[i] = self._engine.distance_via(
                         queries[i], p.location, other_expanders[i]
                     )
                     tracing.record("distance_computations")
-                vector = tuple(bounds) + p.attributes
-                if any(dominates_lower_bounds(s, vector) for s in skyline_vectors):
+                if sky.dominates_lb(scratch):
                     return None
-                return vector
-
-            def bounds_vector() -> tuple[float, ...]:
-                return tuple(bounds) + p.attributes
+                return tuple(scratch)
 
             while True:
-                if any(
-                    dominates_lower_bounds(s, bounds_vector())
-                    for s in skyline_vectors
-                ):
+                if sky.dominates_lb(scratch):
                     return None
                 unfinished = [
                     i
@@ -285,22 +288,25 @@ class LowerBoundConstraint(SkylineAlgorithm):
                     if i not in searches or not searches[i].done
                 ]
                 if not unfinished:
-                    return bounds_vector()
+                    return tuple(scratch)
                 # Expand the non-source query point with the smallest plb.
-                target = min(unfinished, key=lambda i: (bounds[i], i))
+                target = min(unfinished, key=lambda i: (scratch[i], i))
                 search = searches.get(target)
                 if search is None:
                     search = other_expanders[target].search_toward(p.location)
                     searches[target] = search
                     tracing.record("distance_computations")
-                    bounds[target] = max(bounds[target], search.plb)
+                    if search.plb > scratch[target]:
+                        scratch[target] = search.plb
                     if search.done:
                         # Exact distance (settled fast path): feed the memo.
                         self._engine.record(
                             queries[target], p.location, search.distance
                         )
                     continue
-                bounds[target] = max(bounds[target], search.expand_step())
+                step = search.expand_step()
+                if step > scratch[target]:
+                    scratch[target] = step
                 tracing.record("lb_expansions")
                 if search.done:
                     self._engine.record(queries[target], p.location, search.distance)
@@ -344,12 +350,12 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
         }
 
         skyline: list[SkylinePoint] = []
-        skyline_vectors: list[tuple[float, ...]] = []
+        sky = SkylineBlock(n + workspace.attribute_count)
         resolved_ids: set[int] = set()
 
         streams = [
             self._network_nn_stream(
-                workspace, queries, queries[i], expanders[i], skyline_vectors, stats
+                workspace, queries, queries[i], expanders[i], sky, stats
             )
             for i in range(n)
         ]
@@ -373,14 +379,14 @@ class LowerBoundConstraintRoundRobin(LowerBoundConstraint):
                     queries,
                     others,
                     expanders,
-                    skyline_vectors,
+                    sky,
                     stats,
                     source_index=i,
                 )
                 if vector is None:
                     continue
                 insert_skyline_point(skyline, SkylinePoint(obj=p, vector=vector))
-                skyline_vectors[:] = [s.vector for s in skyline]
+                sky.rebuild(s.vector for s in skyline)
                 timer.mark_first_result()
 
         return skyline
@@ -448,11 +454,11 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
         all_dims = list(enumerate(queries))
 
         skyline: list[SkylinePoint] = []
-        skyline_vectors: list[tuple[float, ...]] = []
 
         source_point = source.point
         all_query_points = [q.point for q in queries]
         attribute_count = workspace.attribute_count
+        sky = SkylineBlock(len(queries) + attribute_count)
 
         def prune(mbr, payload) -> bool:
             if payload is None:
@@ -463,9 +469,7 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
                 bounds = tuple(
                     payload.point.distance_to(q) for q in all_query_points
                 ) + payload.attributes
-            return any(
-                dominates_lower_bounds(s, bounds) for s in skyline_vectors
-            )
+            return sky.dominates_lb(bounds)
 
         stream = workspace.object_rtree.best_first(
             key=lambda mbr, _payload: mbr.mindist(source_point), prune=prune
@@ -478,14 +482,14 @@ class LowerBoundConstraintLazy(LowerBoundConstraint):
                 queries,
                 all_dims,
                 expanders,
-                skyline_vectors,
+                sky,
                 stats,
                 source_index=self.source_index,
             )
             if vector is None:
                 continue
             insert_skyline_point(skyline, SkylinePoint(obj=p, vector=vector))
-            skyline_vectors[:] = [s.vector for s in skyline]
+            sky.rebuild(s.vector for s in skyline)
             timer.mark_first_result()
 
         return skyline

@@ -2,6 +2,9 @@
 
 from repro.datasets.dimacs import DimacsFormatError, load_dimacs
 from repro.datasets.io import (
+    ColumnFile,
+    ColumnFileError,
+    ColumnFileWriter,
     NetworkFormatError,
     load_network,
     load_objects,
@@ -14,6 +17,7 @@ from repro.datasets.generators import (
     estimate_delta,
     grid_network,
     network_density,
+    stream_object_columns,
 )
 from repro.datasets.objects import (
     OMEGA_LEVELS,
@@ -46,6 +50,9 @@ __all__ = [
     "PRESETS",
     "REGION_SIDE",
     "AttributeSpec",
+    "ColumnFile",
+    "ColumnFileError",
+    "ColumnFileWriter",
     "DimacsFormatError",
     "NetworkFormatError",
     "load_dimacs",
@@ -63,4 +70,5 @@ __all__ = [
     "network_density",
     "select_query_points",
     "select_query_points_on_edges",
+    "stream_object_columns",
 ]

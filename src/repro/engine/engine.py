@@ -66,6 +66,7 @@ from repro.engine.backends import (
     DistanceBackend,
     make_backend,
 )
+from repro.columnar.store import VectorTable
 from repro.engine.cache import DEFAULT_MEMO_CAPACITY, DistanceMemo
 from repro.network.astar import AStarExpander, HeuristicFn
 from repro.network.dijkstra import DijkstraExpander
@@ -332,6 +333,29 @@ class DistanceEngine:
                 for source in sources
             ]
 
+    def matrix_block(
+        self,
+        sources: Sequence[NetworkLocation],
+        targets: Sequence[NetworkLocation],
+        backend: str | None = None,
+    ) -> VectorTable:
+        """The distance matrix as one flat column block.
+
+        Row ``i`` holds the distances from ``sources[i]`` to every
+        target; same source-major sweep as :meth:`matrix`, but the
+        values land in a single ``array('d')`` instead of nested lists.
+        Requires at least one target (a zero-width table cannot exist).
+        """
+        table = VectorTable(len(targets))
+        data = table.data
+        with tracing.span(
+            "engine.matrix", sources=len(sources), targets=len(targets)
+        ):
+            for source in sources:
+                for target in targets:
+                    data.append(self.distance(source, target, backend=backend))
+        return table
+
     def vector(
         self,
         queries: Sequence[NetworkLocation],
@@ -352,9 +376,38 @@ class DistanceEngine:
     ) -> list[tuple[float, ...]]:
         """Evaluation vectors for many objects, ordered like ``objects``.
 
-        Work runs source-major (every object against one query before
-        the next query starts) so each wavefront is reused across the
-        whole object set — the batch-API contract of the engine.
+        A thin view over :meth:`vectors_block`: the block carries the
+        values, each row is materialised once at this boundary.
+        """
+        if not objects or len(queries) + len(objects[0].attributes) == 0:
+            # Degenerate shapes a zero-width block cannot carry.
+            locations = [obj.location for obj in objects]
+            with tracing.span(
+                "engine.vectors", queries=len(queries), objects=len(objects)
+            ):
+                columns = [
+                    self.distances(q, locations, backend=backend) for q in queries
+                ]
+            return [
+                tuple(column[i] for column in columns) + obj.attributes
+                for i, obj in enumerate(objects)
+            ]
+        table = self.vectors_block(queries, objects, backend=backend)
+        return [table.row(i) for i in range(len(table))]
+
+    def vectors_block(
+        self,
+        queries: Sequence[NetworkLocation],
+        objects: Sequence,
+        backend: str | None = None,
+    ) -> VectorTable:
+        """Evaluation vectors for many objects as one flat column block.
+
+        Row ``i`` = distances of ``objects[i]`` to every query, then its
+        static attributes.  Work runs source-major (every object against
+        one query before the next query starts) so each wavefront is
+        reused across the whole object set — the batch-API contract of
+        the engine.
         """
         locations = [obj.location for obj in objects]
         with tracing.span(
@@ -363,10 +416,14 @@ class DistanceEngine:
             columns = [
                 self.distances(q, locations, backend=backend) for q in queries
             ]
-        return [
-            tuple(column[i] for column in columns) + obj.attributes
-            for i, obj in enumerate(objects)
-        ]
+        attribute_count = len(objects[0].attributes) if objects else 0
+        table = VectorTable(len(queries) + attribute_count)
+        data = table.data
+        for i, obj in enumerate(objects):
+            for column in columns:
+                data.append(column[i])
+            data.extend(obj.attributes)
+        return table
 
     # ------------------------------------------------------------------
     # Accounting

@@ -23,6 +23,8 @@ T = TypeVar("T", bound=Hashable)
 class AddressableHeap(Generic[T]):
     """Binary min-heap over hashable items with updatable priorities."""
 
+    __slots__ = ("_counter", "_entries", "_position")
+
     def __init__(self) -> None:
         self._entries: list[tuple[float, int, T]] = []
         self._position: dict[T, int] = {}

@@ -64,6 +64,18 @@ class AStarExpander:
     runtime check (it would cost more than the search).
     """
 
+    __slots__ = (
+        "_epoch",
+        "frontier",
+        "heuristic",
+        "network",
+        "nodes_settled",
+        "relaxations",
+        "settled",
+        "source",
+        "store",
+    )
+
     def __init__(
         self,
         network: RoadNetwork,
@@ -101,6 +113,21 @@ class AStarExpander:
 
 class LowerBoundSearch:
     """One incremental A* search from an expander toward one target."""
+
+    __slots__ = (
+        "_epoch",
+        "_expander",
+        "_goal_edge",
+        "_goal_node",
+        "_h",
+        "_h_cache",
+        "_heap",
+        "_plb",
+        "distance",
+        "done",
+        "expansions",
+        "target",
+    )
 
     def __init__(
         self, expander: AStarExpander, target: NetworkLocation, epoch: int

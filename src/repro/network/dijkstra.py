@@ -43,6 +43,27 @@ class PlacementSource(Protocol):
 class DijkstraExpander:
     """A persistent single-source Dijkstra wavefront over a road network."""
 
+    # The engine pools thousands of expanders; slots drop the per-
+    # instance __dict__ and make attribute loads in the inner relax
+    # loop a fixed-offset read.
+    __slots__ = (
+        "_emitted",
+        "_heap",
+        "_last_emitted_distance",
+        "_object_best",
+        "_object_heap",
+        "_object_of",
+        "_probed_edges",
+        "network",
+        "nodes_settled",
+        "parent",
+        "placements",
+        "relaxations",
+        "settled",
+        "source",
+        "store",
+    )
+
     def __init__(
         self,
         network: RoadNetwork,

@@ -19,6 +19,7 @@ served through the experiment's shared LRU buffer pool — this is the
 
 from __future__ import annotations
 
+from repro.columnar.curve import hilbert_index
 from repro.geometry.mbr import MBR
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree
 from repro.network.graph import RoadNetwork
@@ -35,27 +36,13 @@ ADJACENCY_ENTRY_BYTES = 24
 """Neighbor id (4) + edge id (4) + length (8) + neighbor coords (8)."""
 
 
-def hilbert_index(x: int, y: int, order: int) -> int:
-    """Index of cell ``(x, y)`` on a Hilbert curve of ``2^order`` cells/side.
-
-    The classic bit-twiddling d2xy inverse; used only at build time to
-    pick a locality-preserving node ordering, so clarity beats speed.
-    """
-    rx = ry = 0
-    d = 0
-    s = 1 << (order - 1)
-    while s > 0:
-        rx = 1 if (x & s) > 0 else 0
-        ry = 1 if (y & s) > 0 else 0
-        d += s * s * ((3 * rx) ^ ry)
-        # Rotate the quadrant.
-        if ry == 0:
-            if rx == 1:
-                x = s - 1 - x
-                y = s - 1 - y
-            x, y = y, x
-        s >>= 1
-    return d
+__all__ = [
+    "ADJACENCY_ENTRY_BYTES",
+    "NODE_RECORD_BASE_BYTES",
+    "NetworkStore",
+    "clustering_quality",
+    "hilbert_index",  # re-exported from repro.columnar.curve
+]
 
 
 class NetworkStore:

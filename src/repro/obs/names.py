@@ -54,6 +54,16 @@ SPAN_NAMES = frozenset(
         # One root span per `python -m repro.experiments` invocation
         # (repro.experiments.__main__)
         "experiment.run",
+        # Columnar block kernels (repro.skyline over repro.columnar)
+        "columnar.skyline",
+        "columnar.distances",
+        # xl scaling-tier phases (repro.bench.xl)
+        "xl.run",
+        "xl.generate",
+        "xl.load",
+        "xl.distances",
+        "xl.skyline",
+        "xl.index",
     }
 )
 """Exact span names a trace tree may contain."""
@@ -74,6 +84,9 @@ COUNTER_KEYS = frozenset(
         "distance_computations",
         # LBC lower-bound search expansions (repro.core.lbc)
         "lb_expansions",
+        # Rows scanned by the columnar dominance kernels, charged in
+        # bulk per block operation (repro.columnar.kernels)
+        "dominance_checks",
         # Distance-memo outcomes (repro.engine.cache)
         "engine_hits",
         "engine_misses",

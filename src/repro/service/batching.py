@@ -180,7 +180,7 @@ def execute_plan(workspace, plan: BatchPlan, algorithms) -> dict:
             with tracing.suppressed(), tracing.span(
                 "batch.warm", sources=len(shared)
             ):
-                engine.matrix(shared, shared)
+                engine.matrix_block(shared, shared)
         for unit in plan.units:
             request = unit.canonical
             # Re-enter the request's admission span on this worker
@@ -220,10 +220,10 @@ def _reorder_result(
             stats=result.stats,
             trace=result.trace,
         )
-    vectors = engine.vectors(follower.queries, objects)
+    table = engine.vectors_block(follower.queries, objects)
     points = [
-        SkylinePoint(obj=obj, vector=vector)
-        for obj, vector in zip(objects, vectors)
+        SkylinePoint(obj=obj, vector=table.row(i))
+        for i, obj in enumerate(objects)
     ]
     stats = dc_replace(result.stats)
     stats.extras = dict(result.stats.extras)

@@ -6,11 +6,15 @@
 * :mod:`repro.skyline.sfs` — Sort-Filter-Skyline [5];
 * :mod:`repro.skyline.bbs` — multi-source Branch-and-Bound Skyline over
   the R-tree (the paper's Section 4.2 construction).
+
+The hot paths are block entry points over the columnar data plane
+(:mod:`repro.columnar`); the scalar functions are thin views over them.
 """
 
 from repro.skyline.bbs import (
     euclidean_skyline,
     euclidean_vector,
+    euclidean_vectors_block,
     incremental_euclidean_skyline,
     mbr_lower_bound_vector,
 )
@@ -22,9 +26,12 @@ from repro.skyline.dominance import (
     dominates_lower_bounds,
     dominates_or_equal,
     is_dominated_by_any,
+    is_dominated_by_any_block,
     skyline_of,
+    skyline_of_block,
+    skyline_of_scalar,
 )
-from repro.skyline.sfs import sfs_skyline, sfs_skyline_progressive
+from repro.skyline.sfs import sfs_skyline, sfs_skyline_block, sfs_skyline_progressive
 
 __all__ = [
     "Vector",
@@ -37,10 +44,15 @@ __all__ = [
     "dominates_or_equal",
     "euclidean_skyline",
     "euclidean_vector",
+    "euclidean_vectors_block",
     "incremental_euclidean_skyline",
     "is_dominated_by_any",
+    "is_dominated_by_any_block",
     "mbr_lower_bound_vector",
     "sfs_skyline",
+    "sfs_skyline_block",
     "sfs_skyline_progressive",
     "skyline_of",
+    "skyline_of_block",
+    "skyline_of_scalar",
 ]

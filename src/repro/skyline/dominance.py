@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.columnar import kernels
+from repro.columnar.store import VectorTable
+
 Vector = Sequence[float]
 
 
@@ -74,11 +77,46 @@ def is_dominated_by_any(vector: Vector, others: Iterable[Vector]) -> bool:
     return any(dominates(other, vector) for other in others)
 
 
+def is_dominated_by_any_block(
+    block, count: int, width: int, vector: Vector, offset: int = 0
+) -> bool:
+    """Block form of :func:`is_dominated_by_any` over a flat buffer."""
+    return kernels.is_dominated_by_any_block(block, count, width, vector, offset)
+
+
 def skyline_of(vectors: Sequence[Vector]) -> list[int]:
+    """Indices of the skyline members of ``vectors`` (ascending).
+
+    Thin view over the columnar block kernel: the vectors are packed
+    into a flat :class:`~repro.columnar.store.VectorTable` and filtered
+    by :func:`repro.columnar.kernels.block_skyline`.  Semantics match
+    :func:`skyline_of_scalar` exactly — duplicate vectors are all
+    reported (none dominates its twin) and mixed widths raise.
+    """
+    if not vectors:
+        return []
+    if len(vectors[0]) == 0:
+        # Zero-dimensional vectors cannot dominate; everything survives
+        # (after the scalar width check against the first vector).
+        for vector in vectors:
+            if len(vector) != 0:
+                raise ValueError(f"dimension mismatch: 0 vs {len(vector)}")
+        return list(range(len(vectors)))
+    table = VectorTable.from_vectors(vectors)
+    return sorted(kernels.block_skyline(table.data, len(table), table.width))
+
+
+def skyline_of_block(table: VectorTable) -> list[int]:
+    """Skyline row indices of a column block, ascending."""
+    return sorted(kernels.block_skyline(table.data, len(table), table.width))
+
+
+def skyline_of_scalar(vectors: Sequence[Vector]) -> list[int]:
     """Indices of the skyline members of ``vectors`` (quadratic scan).
 
-    The reference implementation every algorithm is tested against.
-    Duplicate vectors are all reported (none dominates its twin).
+    The per-tuple reference implementation the columnar kernels are
+    equivalence-tested against.  Duplicate vectors are all reported
+    (none dominates its twin).
     """
     result: list[int] = []
     for i, candidate in enumerate(vectors):

@@ -1,0 +1,37 @@
+"""Seeded REPRO-PERF01 violations: per-row allocation in kernel loops."""
+
+
+class RowHandle:
+    def __init__(self, index):
+        self.index = index
+
+
+def bad_tuple_rows(data, count, width):
+    out = []
+    for i in range(count):
+        row = tuple(data[i * width : (i + 1) * width])  # EXPECT: REPRO-PERF01
+        out.append(row)
+    return out
+
+
+def bad_list_literal(xs, ys, count):
+    pairs = []
+    i = 0
+    while i < count:
+        pairs.append([xs[i], ys[i]])  # EXPECT: REPRO-PERF01
+        i += 1
+    return pairs
+
+
+def bad_instantiation(count):
+    handles = []
+    for i in range(count):
+        handles.append(RowHandle(i))  # EXPECT: REPRO-PERF01
+    return handles
+
+
+def bad_comprehension(blocks):
+    totals = []
+    for block in blocks:
+        totals.append(sum(x * x for x in block))  # EXPECT: REPRO-PERF01
+    return totals

@@ -1,0 +1,35 @@
+"""Allocation-free kernel idioms REPRO-PERF01 must accept."""
+
+from array import array
+
+
+def good_flat_math(data, count, width, out):
+    i = 0
+    while i < count:
+        base = i * width
+        j = 0
+        while j < width:
+            out[base + j] = data[base + j] * 2.0
+            j += 1
+        i += 1
+    return out
+
+
+def good_swap_and_raise(order, count):
+    x, y = 0.0, 1.0
+    i = 0
+    while i < count:
+        x, y = y, x
+        if order[i] < 0:
+            raise ValueError(f"negative rank at {i}: {order[i]}")
+        i += 1
+    return x
+
+
+def good_preallocated(count):
+    scratch = array("d", bytes(8 * count))
+    total = 0.0
+    for i in range(count):
+        scratch[i] = float(i)
+        total += scratch[i]
+    return total

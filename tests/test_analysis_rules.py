@@ -52,6 +52,7 @@ BAD_CASES = [
     pytest.param((FAKE / "service" / "bad_blocking.py",), id="lock03"),
     pytest.param((FAKE / "service" / "bad_order.py",), id="order01"),
     pytest.param((FAKE / "core" / "bad_tele.py",), id="tele01-03"),
+    pytest.param((FAKE / "columnar" / "bad_kernel.py",), id="perf01"),
 ]
 
 
@@ -191,7 +192,14 @@ def test_select_prefix_limits_rules():
 
 
 def test_rule_catalogue_is_complete():
-    families = {"ARCH": 3, "PAGE": 3, "LOCK": 3, "ORDER": 1, "TELE": 3}
+    families = {
+        "ARCH": 3,
+        "PAGE": 3,
+        "LOCK": 3,
+        "ORDER": 1,
+        "TELE": 3,
+        "PERF": 1,
+    }
     for family, count in families.items():
         members = [r for r in RULES if r.startswith(f"REPRO-{family}")]
         assert len(members) == count, (family, members)
