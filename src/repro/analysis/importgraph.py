@@ -37,6 +37,7 @@ LAYERS: dict[str, int] = {
     "index": 3,
     "network": 4,
     "skyline": 5,
+    "oracle": 5,  # preprocessed distance indexes over network + storage
     "engine": 6,
     "core": 7,
     "datasets": 8,

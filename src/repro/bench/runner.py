@@ -60,6 +60,10 @@ COUNTER_KEYS = (
     "engine_misses",
     "skyline_count",
     "candidate_count",
+    "oracle_pages",
+    "oracle_nodes_settled",
+    "oracle_label_entries",
+    "oracle_fallbacks",
 )
 
 
@@ -121,6 +125,11 @@ def _run_query_workload(
         seed=workload.query_seed,
     )
     algorithm = ALGORITHMS[workload.algorithm]()
+    if workload.preprocessed:
+        # Build the oracle index once, before any measured repeat: the
+        # repeats then pay only query-time oracle cost (its page store
+        # still resets cold with everything else below).
+        workspace.engine.ensure_oracle()
     counters: dict[str, int] | None = None
     timings: list[float] = []
     for _ in range(max(1, workload.repeats)):

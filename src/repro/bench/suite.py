@@ -22,8 +22,16 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-SUITE_VERSION = 1
-"""Bump when any workload recipe below changes meaning."""
+SUITE_VERSION = 2
+"""Bump when any workload recipe below changes meaning.
+
+Version history:
+
+* 1 — cold/warm query grids plus the closed-loop serving point.
+* 2 — adds the ``preprocessed`` engine state (oracle backends with the
+  index built before the measured repeats) and the ``oracle_*``
+  counters to every workload's counter section.
+"""
 
 #: Timing repeats per workload (counters must agree across repeats).
 DEFAULT_REPEATS = 3
@@ -43,6 +51,10 @@ class QueryWorkload:
     query_seed: int = 100
     repeats: int = DEFAULT_REPEATS
     distance_backend: str = "dijkstra"
+    preprocessed: bool = False
+    """Build the engine's distance oracle before the measured repeats
+    (meaningful only with an oracle ``distance_backend``); the repeats
+    then measure pure query-time cost of the preprocessed state."""
 
     @property
     def kind(self) -> str:
@@ -119,6 +131,28 @@ _QUICK: list[Workload] = [
         query_count=4,
         warm=True,
     ),
+    # The preprocessed engine state: same query point as the cold/warm
+    # LBC rows, distances answered from a prebuilt oracle index.
+    QueryWorkload(
+        workload_id="query/LBC/au/q4/preprocessed",
+        algorithm="LBC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        distance_backend="hublabel",
+        preprocessed=True,
+    ),
+    QueryWorkload(
+        workload_id="query/LBC/au/q4/preprocessed-ch",
+        algorithm="LBC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        distance_backend="ch",
+        preprocessed=True,
+    ),
     ServiceWorkload(
         workload_id="service/LBC/au/q4/closed-loop",
         algorithm="LBC",
@@ -150,6 +184,16 @@ _FULL: list[Workload] = [
         omega=0.5,
         query_count=4,
         warm=True,
+    ),
+    QueryWorkload(
+        workload_id="query/EDC/au/q4/preprocessed",
+        algorithm="EDC",
+        network="AU",
+        scale=0.05,
+        omega=0.5,
+        query_count=4,
+        distance_backend="hublabel",
+        preprocessed=True,
     ),
 ]
 

@@ -11,6 +11,9 @@ Installed as the ``repro`` console script (also runnable as
 * ``trace``      — run one query with tracing on and print its span
   tree (per-phase timings, page reads, settled nodes);
 * ``route``      — shortest path between two junctions;
+* ``oracle``     — ``build`` a contraction-hierarchy / hub-label
+  distance oracle for a network file, ``verify`` one against online
+  Dijkstra on sampled pairs (:mod:`repro.oracle`);
 * ``serve``      — long-running concurrent HTTP query server (also
   installed as the ``repro-serve`` console script);
 * ``experiment`` — regenerate the paper's figures (thin wrapper around
@@ -114,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BACKEND,
         help="distance engine backend (default: %(default)s)",
     )
+    query.add_argument(
+        "--oracle",
+        help="attach a prebuilt distance-oracle index file "
+        "(see `repro oracle build`)",
+    )
     query.add_argument("--svg", help="write a picture of the result")
     query.add_argument("--json", help="write the result as JSON here")
     query.add_argument(
@@ -152,6 +160,40 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("network")
     route.add_argument("origin", type=int)
     route.add_argument("destination", type=int)
+
+    oracle = sub.add_parser(
+        "oracle", help="build / verify preprocessed distance oracles"
+    )
+    oracle_sub = oracle.add_subparsers(dest="oracle_command", required=True)
+    oracle_build = oracle_sub.add_parser(
+        "build", help="preprocess a network into an oracle index file"
+    )
+    oracle_build.add_argument("network")
+    oracle_build.add_argument("--out", required=True, help="index file to write")
+    oracle_build.add_argument(
+        "--kind", choices=["ch", "hublabel"], default="hublabel"
+    )
+    oracle_build.add_argument(
+        "--witness-limit",
+        type=int,
+        default=64,
+        help="witness-search settle limit per contraction (default: 64)",
+    )
+    oracle_verify = oracle_sub.add_parser(
+        "verify",
+        help="sample random junction pairs against online Dijkstra",
+    )
+    oracle_verify.add_argument("network")
+    oracle_verify.add_argument("oracle")
+    oracle_verify.add_argument("--samples", type=int, default=200)
+    oracle_verify.add_argument("--seed", type=int, default=0)
+    oracle_verify.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-9,
+        help="max relative error allowed (oracle sums may differ from "
+        "online search by float association noise; default: %(default)s)",
+    )
 
     serve = sub.add_parser(
         "serve", help="serve skyline queries over HTTP (repro-serve)"
@@ -301,6 +343,14 @@ def _cmd_query(args) -> int:
     workspace = Workspace.build(
         network, objects, distance_backend=args.distance_backend
     )
+    if args.oracle:
+        from repro.oracle import OracleIndexError, load_oracle_index
+
+        try:
+            workspace.engine.attach_oracle(load_oracle_index(args.oracle))
+        except OracleIndexError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.query_nodes:
         missing = [n for n in args.query_nodes if not network.has_node(n)]
         if missing:
@@ -337,12 +387,19 @@ def _cmd_query(args) -> int:
         )
         info = workspace.engine.cache_info()
         print(
-            f"engine: backend={info['backend']} "
+            f"engine: backend={info['backend']} oracle={info['oracle']} "
             f"hits={info['hits']} misses={info['misses']} "
             f"evictions={info['evictions']} "
             f"pool={info['pool_entries']}/{info['pool_capacity']} "
             f"memo={info['memo_entries']}/{info['memo_capacity']}"
         )
+        if s.oracle_pages or s.oracle_label_entries or s.oracle_nodes_settled:
+            print(
+                f"oracle: pages={s.oracle_pages} "
+                f"nodes={s.oracle_nodes_settled} "
+                f"label_entries={s.oracle_label_entries} "
+                f"fallbacks={s.oracle_fallbacks}"
+            )
     if args.svg:
         from repro.viz import render_query, save_svg
 
@@ -445,6 +502,77 @@ def _cmd_serve(args) -> int:
     return run_serve(args)
 
 
+def _cmd_oracle(args) -> int:
+    if args.oracle_command == "build":
+        return _cmd_oracle_build(args)
+    return _cmd_oracle_verify(args)
+
+
+def _cmd_oracle_build(args) -> int:
+    from repro.oracle import build_oracle_index, save_oracle_index
+
+    network = load_network(args.network)
+    index = build_oracle_index(
+        network, kind=args.kind, witness_settle_limit=args.witness_limit
+    )
+    save_oracle_index(index, args.out)
+    print(f"wrote {args.out} ({index.kind})")
+    print(f"junctions:      {index.node_count}")
+    print(f"shortcuts:      {index.shortcut_count}")
+    if index.kind == "hublabel":
+        print(f"label entries:  {index.label_entry_count}")
+        print(f"avg label size: {index.average_label_size:.2f}")
+    print(f"build time:     {index.build_seconds:.3f}s")
+    return 0
+
+
+def _cmd_oracle_verify(args) -> int:
+    import random
+
+    from repro.engine import DistanceEngine
+    from repro.obs import tracing
+    from repro.oracle import (
+        DistanceOracle,
+        load_oracle_index,
+        network_signature,
+    )
+
+    network = load_network(args.network)
+    index = load_oracle_index(args.oracle)
+    if index.signature != network_signature(network):
+        print(
+            "error: oracle index was built on a different network "
+            "(signature mismatch)",
+            file=sys.stderr,
+        )
+        return 1
+    oracle = DistanceOracle(index, network)
+    engine = DistanceEngine(network, backend="dijkstra")
+    rng = random.Random(args.seed)
+    nodes = sorted(network.node_ids())
+    worst = 0.0
+    failures = 0
+    with tracing.span("oracle.verify", samples=args.samples):
+        for _ in range(args.samples):
+            a = network.location_at_node(rng.choice(nodes))
+            b = network.location_at_node(rng.choice(nodes))
+            expected = engine.distance(a, b)
+            got = oracle.distance(a, b)
+            if got == expected:  # covers exact matches and inf == inf
+                continue
+            rel = abs(got - expected) / max(abs(expected), 1e-300)
+            worst = max(worst, rel)
+            if rel > args.tolerance:
+                failures += 1
+    print(f"verified {args.samples} sampled pairs ({index.kind})")
+    print(f"max relative error: {worst:.3e} (tolerance {args.tolerance:.1e})")
+    if failures:
+        print(f"error: {failures} pair(s) exceeded tolerance", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.profiling import SamplingProfiler, format_self_time_table
 
@@ -487,6 +615,11 @@ def _cmd_heatmap(args) -> int:
         components["index"] = workspace.rtree_pager.pool.page_accesses()
     if workspace.middle_pager is not None:
         components["middle"] = workspace.middle_pager.pool.page_accesses()
+    oracle_store = (
+        workspace.engine.oracle_store() if workspace.engine is not None else None
+    )
+    if oracle_store is not None:
+        components["oracle"] = oracle_store.pool.page_accesses()
     print(
         f"{algorithm.name} on {args.preset}@{args.scale} |Q|={len(queries)}: "
         f"{len(result)} skyline points, "
@@ -550,6 +683,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": _cmd_query,
         "trace": _cmd_trace,
         "route": _cmd_route,
+        "oracle": _cmd_oracle,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,

@@ -86,6 +86,10 @@ class SkylineAlgorithm(ABC):
         stats.network_pages = int(totals.get("network_pages", 0))
         stats.index_pages = int(totals.get("index_pages", 0))
         stats.middle_pages = int(totals.get("middle_pages", 0))
+        stats.oracle_pages = int(totals.get("oracle_pages", 0))
+        stats.oracle_nodes_settled = int(totals.get("oracle_nodes_settled", 0))
+        stats.oracle_label_entries = int(totals.get("oracle_label_entries", 0))
+        stats.oracle_fallbacks = int(totals.get("oracle_fallbacks", 0))
         stats.total_response_s = finished - started
         stats.initial_response_s = timer.first_response(default=stats.total_response_s)
         net_at_first, idx_at_first = timer.pages_at_first(

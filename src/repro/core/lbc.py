@@ -267,10 +267,27 @@ class LowerBoundConstraint(SkylineAlgorithm):
             a += 1
 
         with tracing.span("lbc.resolve", object_id=p.object_id):
+            # Oracle prefill: with a usable preprocessed index every
+            # remaining dimension is *exact* in one lookup, so the plb
+            # machinery has nothing left to expand for it.  ``None``
+            # means no usable oracle — that verdict holds for the whole
+            # candidate, so stop probing after the first refusal.
+            resolved: set[int] = set()
+            for i, q in others:
+                value = self._engine.oracle_distance(q, p.location)
+                if value is None:
+                    break
+                scratch[i] = value
+                resolved.add(i)
+                self._engine.record(q, p.location, value)
+                tracing.record("distance_computations")
+
             if not self.use_lower_bounds:
                 # Ablation path: full distance computation for every
                 # candidate, then one exact dominance check.
                 for i, _ in others:
+                    if i in resolved:
+                        continue
                     scratch[i] = self._engine.distance_via(
                         queries[i], p.location, other_expanders[i]
                     )
@@ -285,7 +302,8 @@ class LowerBoundConstraint(SkylineAlgorithm):
                 unfinished = [
                     i
                     for i, _ in others
-                    if i not in searches or not searches[i].done
+                    if i not in resolved
+                    and (i not in searches or not searches[i].done)
                 ]
                 if not unfinished:
                     return tuple(scratch)

@@ -117,6 +117,35 @@ class Workspace:
             )
         engine = self.engine
         if engine is not None:
+            # The oracle pool appears lazily (first oracle-backend query
+            # or an explicit attach), so these callbacks read through
+            # the engine at scrape time and report 0 until then.
+            def _oracle_stat(field_name: str) -> float:
+                io = engine.oracle_io_stats()
+                return getattr(io, field_name) if io is not None else 0
+            registry.register_callback(
+                "repro_buffer_reads_total",
+                (lambda: _oracle_stat("logical_reads")),
+                kind="counter",
+                help_text="Logical page reads per buffer pool",
+                pool="oracle",
+                mode="logical",
+            )
+            registry.register_callback(
+                "repro_buffer_reads_total",
+                (lambda: _oracle_stat("physical_reads")),
+                kind="counter",
+                help_text="Logical page reads per buffer pool",
+                pool="oracle",
+                mode="physical",
+            )
+            registry.register_callback(
+                "repro_buffer_hit_ratio",
+                (lambda: _oracle_stat("hit_ratio")),
+                kind="gauge",
+                help_text="Buffer-pool hit ratio over logical reads",
+                pool="oracle",
+            )
             for field_name in ("hits", "misses", "evictions", "invalidations"):
                 registry.register_callback(
                     "repro_engine_memo_events_total",
@@ -209,7 +238,8 @@ class Workspace:
         ``buffer_policy`` selects the page-replacement policy for every
         pool ("lru" — the paper's setup — "fifo" or "clock");
         ``distance_backend`` picks the engine's default distance backend
-        (``"dijkstra"``, ``"astar"`` or ``"astar+landmarks"``).
+        (``"dijkstra"``, ``"astar"``, ``"astar+landmarks"``, or the
+        preprocessed oracles ``"ch"`` / ``"hublabel"``).
         """
         if objects.network is not network:
             raise ValueError("object set was built for a different network")
@@ -276,8 +306,10 @@ class Workspace:
                 pager.pool.reset_stats()
                 if cold:
                     pager.pool.clear()
-        if cold and self.engine is not None:
-            self.engine.clear()
+        if self.engine is not None:
+            self.engine.reset_oracle_io(cold=cold)
+            if cold:
+                self.engine.clear()
 
     def network_pages_read(self) -> int:
         """Physical network-store reads since the last reset."""

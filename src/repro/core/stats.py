@@ -43,6 +43,11 @@ class QueryStats:
     index_pages: int = 0
     middle_pages: int = 0
 
+    oracle_pages: int = 0
+    oracle_nodes_settled: int = 0
+    oracle_label_entries: int = 0
+    oracle_fallbacks: int = 0
+
     initial_response_s: float = 0.0
     total_response_s: float = 0.0
     initial_network_pages: int = 0
@@ -87,8 +92,14 @@ class QueryStats:
 
     @property
     def total_pages(self) -> int:
-        """All simulated physical page reads (network + indexes + layer)."""
-        return self.network_pages + self.index_pages + self.middle_pages
+        """All simulated physical page reads (network + indexes + layer
+        + oracle records)."""
+        return (
+            self.network_pages
+            + self.index_pages
+            + self.middle_pages
+            + self.oracle_pages
+        )
 
     @property
     def engine_hit_ratio(self) -> float:
@@ -135,6 +146,10 @@ class QueryStats:
             "net_pages": self.network_pages,
             "idx_pages": self.index_pages,
             "mid_pages": self.middle_pages,
+            "orc_pages": self.oracle_pages,
+            "orc_nodes": self.oracle_nodes_settled,
+            "orc_scans": self.oracle_label_entries,
+            "orc_fallb": self.oracle_fallbacks,
             "t_first_s": round(self.initial_response_s, 6),
             "t_total_s": round(self.total_response_s, 6),
         }

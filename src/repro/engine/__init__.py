@@ -14,10 +14,13 @@ from repro.engine.backends import (
     BACKEND_NAMES,
     BACKENDS,
     DEFAULT_BACKEND,
+    ORACLE_BACKEND_NAMES,
     AStarBackend,
     AStarLandmarksBackend,
+    ChBackend,
     DijkstraBackend,
     DistanceBackend,
+    HubLabelBackend,
     make_backend,
 )
 from repro.engine.cache import DEFAULT_MEMO_CAPACITY, DistanceMemo, MemoCounters
@@ -34,13 +37,16 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_MEMO_CAPACITY",
     "DEFAULT_POOL_CAPACITY",
+    "ORACLE_BACKEND_NAMES",
     "AStarBackend",
     "AStarLandmarksBackend",
+    "ChBackend",
     "DijkstraBackend",
     "DistanceBackend",
     "DistanceEngine",
     "DistanceMemo",
     "EngineCounters",
+    "HubLabelBackend",
     "MemoCounters",
     "location_key",
 ]

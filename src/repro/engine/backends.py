@@ -12,11 +12,22 @@ engine's pool.  Three ship with the engine:
 * ``"astar+landmarks"`` — A* guided by a lazily built
   :class:`~repro.network.landmarks.LandmarkHeuristic` (ALT bounds),
   typically the fewest settled nodes on high-detour networks at the
-  cost of ``count`` full Dijkstra runs of precomputation.
+  cost of ``count`` full Dijkstra runs of precomputation;
+* ``"ch"`` / ``"hublabel"`` — preprocessed distance oracles
+  (:mod:`repro.oracle`): a contraction hierarchy queried by
+  bidirectional upward search, or hub labels answering in one merge
+  scan.  These backends own a lazily built
+  :class:`~repro.oracle.runtime.DistanceOracle` the engine consults
+  *before* any expander; their ``make_expander`` returns a plain
+  Dijkstra wavefront, which is the online fallback when no usable
+  index exists (e.g. right after a network mutation).
 
 Every backend returns *exact* distances; they differ only in how much
 network they touch to settle them, which is why the engine's memo can
-share entries across backends.
+share entries across backends.  (Oracle answers may differ from online
+search in the last floating-point bit on irrational edge lengths —
+shortcut weights are pre-summed, so addition associates differently;
+see ``docs/preprocessing.md``.)
 """
 
 from __future__ import annotations
@@ -29,9 +40,34 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.landmarks import LandmarkHeuristic
 from repro.network.storage import NetworkStore
 from repro.obs import tracing
+from repro.oracle import build_oracle_index
+from repro.oracle.runtime import DistanceOracle
+from repro.oracle.store import OracleStore
 
 DEFAULT_BACKEND = "dijkstra"
 DEFAULT_LANDMARK_COUNT = 8
+
+ORACLE_BACKEND_NAMES = ("ch", "hublabel")
+"""Backends whose distances come from a preprocessed oracle index."""
+
+
+def mirror_oracle_store(
+    index, network: RoadNetwork, store: NetworkStore | None
+) -> OracleStore | None:
+    """An :class:`OracleStore` sized like the workspace's network store.
+
+    An unstored network means the caller opted out of page accounting
+    entirely; the oracle follows suit and returns ``None``.
+    """
+    if store is None:
+        return None
+    page_size = store.disk.page_size
+    return OracleStore(
+        index,
+        network,
+        page_size=page_size,
+        buffer_bytes=store.pool.frame_count * page_size,
+    )
 
 
 @runtime_checkable
@@ -130,10 +166,63 @@ class AStarLandmarksBackend(AStarBackend):
         self._landmarks = None
 
 
+class ChBackend:
+    """Contraction-hierarchy oracle with a Dijkstra online fallback.
+
+    The backend owns a lazily built :class:`DistanceOracle`; the engine
+    asks for it via :meth:`oracle` before falling back to the expander
+    this backend makes.  The build runs under
+    :func:`~repro.obs.tracing.suppressed` so preprocessing cost never
+    lands on the query span that happened to trigger it — the same
+    amortisation contract as the landmark backend.  A network mutation
+    resets the handle; the next query rebuilds against the new graph.
+    """
+
+    name = "ch"
+    kind = "ch"
+
+    def __init__(self, network: RoadNetwork, store: NetworkStore | None = None):
+        self.network = network
+        self.store = store
+        self._oracle: DistanceOracle | None = None
+
+    def oracle(self) -> DistanceOracle:
+        if self._oracle is None:
+            with tracing.suppressed():
+                index = build_oracle_index(self.network, kind=self.kind)
+            self._oracle = DistanceOracle(
+                index,
+                self.network,
+                store=mirror_oracle_store(index, self.network, self.store),
+            )
+        return self._oracle
+
+    def oracle_if_built(self) -> DistanceOracle | None:
+        """The handle without triggering a build (engine peek path)."""
+        return self._oracle
+
+    def make_expander(self, source: NetworkLocation) -> DijkstraExpander:
+        # Online fallback: when the engine cannot (or must not) answer
+        # from the index, distances resolve from a plain wavefront.
+        return DijkstraExpander(self.network, source, store=self.store)
+
+    def reset(self) -> None:
+        self._oracle = None
+
+
+class HubLabelBackend(ChBackend):
+    """Hub labels on top of the CH: one merge scan per node pair."""
+
+    name = "hublabel"
+    kind = "hublabel"
+
+
 BACKENDS: dict[str, type] = {
     DijkstraBackend.name: DijkstraBackend,
     AStarBackend.name: AStarBackend,
     AStarLandmarksBackend.name: AStarLandmarksBackend,
+    ChBackend.name: ChBackend,
+    HubLabelBackend.name: HubLabelBackend,
 }
 
 BACKEND_NAMES = tuple(sorted(BACKENDS))

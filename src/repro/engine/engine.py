@@ -63,8 +63,10 @@ from repro.engine.backends import (
     BACKEND_NAMES,
     DEFAULT_BACKEND,
     DEFAULT_LANDMARK_COUNT,
+    ORACLE_BACKEND_NAMES,
     DistanceBackend,
     make_backend,
+    mirror_oracle_store,
 )
 from repro.columnar.store import VectorTable
 from repro.engine.cache import DEFAULT_MEMO_CAPACITY, DistanceMemo
@@ -73,6 +75,8 @@ from repro.network.dijkstra import DijkstraExpander
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.storage import NetworkStore
 from repro.obs import tracing
+from repro.oracle import OracleIndex, OracleIndexError, network_signature
+from repro.oracle.runtime import DistanceOracle
 
 DEFAULT_POOL_CAPACITY = 128
 
@@ -147,6 +151,7 @@ class DistanceEngine:
         self.landmark_seed = landmark_seed
 
         self._backends: dict[str, DistanceBackend] = {}
+        self._attached_oracle: DistanceOracle | None = None
         self._pool: OrderedDict[tuple, object] = OrderedDict()
         self._memo = DistanceMemo(memo_capacity)
         self._retired_nodes = 0
@@ -183,11 +188,118 @@ class DistanceEngine:
         Algorithms whose cost model is built on goal-directed search
         (EDC, LBC, the ANN lower-bound processor) stay on A* even when
         the engine default is ``"dijkstra"``; a landmark configuration
-        is honoured as-is.
+        is honoured as-is.  Oracle backends also map to plain A*: their
+        answers come from the index via :meth:`oracle_distance`, so the
+        expander behind them only ever runs as an online fallback.
         """
-        if self.backend_name == "dijkstra":
+        if self.backend_name == "dijkstra" or self.backend_name in ORACLE_BACKEND_NAMES:
             return "astar"
         return self.backend_name
+
+    # ------------------------------------------------------------------
+    # Distance oracle (preprocessed index)
+    # ------------------------------------------------------------------
+    def attach_oracle(self, index: OracleIndex) -> DistanceOracle:
+        """Adopt a persisted index as this engine's distance oracle.
+
+        The index must carry the signature of *this* network — an index
+        built on any other graph (or this graph before a mutation) is
+        rejected instead of silently answering wrong distances.  The
+        oracle's records live behind their own page store, sized like
+        the workspace's network store, so lookups pay page accounting.
+        """
+        signature = network_signature(self.network)
+        if index.signature != signature:
+            raise OracleIndexError(
+                "oracle index signature does not match this network "
+                f"(index {index.signature[:12]}…, network {signature[:12]}…)"
+            )
+        handle = DistanceOracle(
+            index,
+            self.network,
+            store=mirror_oracle_store(index, self.network, self.store),
+        )
+        with self._lock:
+            self._attached_oracle = handle
+        return handle
+
+    def _usable_oracle(self, build: bool) -> DistanceOracle | None:
+        """The oracle that may answer right now, or ``None``.
+
+        An explicitly attached handle wins; otherwise an oracle backend
+        supplies its own (built lazily when ``build`` is set).  A stale
+        handle — the network mutated underneath a persisted index —
+        refuses to answer: the fallback is recorded and the caller
+        resolves online.
+        """
+        handle = self._attached_oracle
+        if handle is None and self.backend_name in ORACLE_BACKEND_NAMES:
+            backend = self._backend(self.backend_name)
+            handle = backend.oracle() if build else backend.oracle_if_built()
+        if handle is None:
+            return None
+        if handle.stale:
+            tracing.record("oracle_fallbacks")
+            return None
+        return handle
+
+    def oracle_distance(
+        self, source: NetworkLocation, target: NetworkLocation
+    ) -> float | None:
+        """Distance answered from the index, or ``None`` to fall back.
+
+        ``None`` means *no usable oracle* (none attached, backend is
+        not an oracle backend, or the index went stale) — never an
+        unreachable pair, which answers ``inf`` like every other path.
+        """
+        oracle = self._usable_oracle(build=True)
+        if oracle is None:
+            return None
+        return oracle.distance(source, target)
+
+    def ensure_oracle(self) -> DistanceOracle | None:
+        """Force the lazy oracle build now (bench ``preprocessed`` state).
+
+        Returns the usable handle, or ``None`` when this engine has no
+        oracle to offer (non-oracle backend, nothing attached).
+        """
+        handle = self._attached_oracle
+        if handle is not None and not handle.stale:
+            return handle
+        if self.backend_name in ORACLE_BACKEND_NAMES:
+            return self._backend(self.backend_name).oracle()
+        return None
+
+    def _peek_oracle(self) -> DistanceOracle | None:
+        """The current handle without triggering a build (may be stale)."""
+        handle = self._attached_oracle
+        if handle is not None:
+            return handle
+        with self._lock:
+            backend = self._backends.get(self.backend_name)
+        if backend is not None and hasattr(backend, "oracle_if_built"):
+            return backend.oracle_if_built()
+        return None
+
+    def oracle_store(self):
+        """The oracle's page store, if an oracle with one exists."""
+        handle = self._peek_oracle()
+        return handle.store if handle is not None else None
+
+    def oracle_io_stats(self):
+        """The oracle store's :class:`IOStats`, or ``None``."""
+        store = self.oracle_store()
+        return store.stats if store is not None else None
+
+    def reset_oracle_io(self, cold: bool = True) -> None:
+        """Zero oracle page counters (and, when cold, its buffer).
+
+        Peek-only: never triggers a build, so a workspace that owns no
+        oracle pays nothing here.
+        """
+        handle = self._peek_oracle()
+        if handle is not None:
+            handle.reset_io(cold=cold)
 
     # ------------------------------------------------------------------
     # Expander pool
@@ -266,12 +378,21 @@ class DistanceEngine:
         target: NetworkLocation,
         backend: str | None = None,
     ) -> float:
-        """Exact network distance, memoised (inf when unreachable)."""
+        """Exact network distance, memoised (inf when unreachable).
+
+        When a usable oracle is present (attached index, or an oracle
+        backend's own) it answers first — regardless of the ``backend``
+        argument, which is safe because every backend is exact and only
+        selects *how* a distance is settled.  Without one, the pooled
+        expander resolves online as always.
+        """
         key = _pair_key(source, target)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        value = self.expander(source, backend=backend).distance_to(target)
+        value = self.oracle_distance(source, target)
+        if value is None:
+            value = self.expander(source, backend=backend).distance_to(target)
         self._memo.put(key, value)
         return value
 
@@ -285,12 +406,16 @@ class DistanceEngine:
 
         Lets algorithms that drive their own pooled expanders (LBC's
         network-NN stream) still read and feed the cross-query memo.
+        An oracle, when usable, outranks the caller's expander too — the
+        expander simply stays parked at its current wavefront.
         """
         key = _pair_key(source, target)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        value = expander.distance_to(target)
+        value = self.oracle_distance(source, target)
+        if value is None:
+            value = expander.distance_to(target)
         self._memo.put(key, value)
         return value
 
@@ -455,8 +580,14 @@ class DistanceEngine:
         c = self.counters
         with self._lock:
             pool_entries = len(self._pool)
+        oracle = self._peek_oracle()
+        if oracle is None:
+            oracle_state = "none"
+        else:
+            oracle_state = oracle.kind + (" (stale)" if oracle.stale else "")
         return {
             "backend": self.backend_name,
+            "oracle": oracle_state,
             "memo_entries": len(self._memo),
             "memo_capacity": self._memo.capacity,
             "pool_entries": pool_entries,
@@ -533,7 +664,11 @@ class DistanceEngine:
         """Drop everything derived from edge weights (graph mutation).
 
         Beyond :meth:`invalidate`, backend precomputation (landmark
-        tables) is reset — it encodes distances of the old graph.
+        tables, backend-owned oracle indexes) is reset — it encodes
+        distances of the old graph.  An *attached* (persisted) oracle
+        cannot be rebuilt from here, so it is marked stale instead:
+        further queries record ``oracle_fallbacks`` and resolve online
+        until a matching index is re-attached.
         """
         if self._defer_invalidation(2):
             return
@@ -541,8 +676,11 @@ class DistanceEngine:
         self._retire_pool()
         with self._lock:
             backends = list(self._backends.values())
+            attached = self._attached_oracle
         for backend in backends:
             backend.reset()
+        if attached is not None:
+            attached.mark_stale()
 
     def clear(self) -> None:
         """Forget all cached state without counting an invalidation.

@@ -64,6 +64,9 @@ SPAN_NAMES = frozenset(
         "xl.distances",
         "xl.skyline",
         "xl.index",
+        # Distance-oracle preprocessing and verification (repro.oracle)
+        "oracle.build",
+        "oracle.verify",
     }
 )
 """Exact span names a trace tree may contain."""
@@ -99,6 +102,14 @@ COUNTER_KEYS = frozenset(
         "network_pages",
         "index_pages",
         "middle_pages",
+        "oracle_pages",
+        # Distance-oracle query work (repro.oracle.runtime): nodes the
+        # CH bidirectional upward search settles, hub-label entries the
+        # merge scan reads, and lookups refused by a stale index (the
+        # engine then resolves online).
+        "oracle_nodes_settled",
+        "oracle_label_entries",
+        "oracle_fallbacks",
     }
 )
 """Exact counter keys :func:`repro.obs.tracing.record` may charge."""

@@ -1,0 +1,248 @@
+"""Contraction hierarchies: preprocessing and the upward query search.
+
+Preprocessing contracts nodes one at a time in *importance* order.
+Removing a node must not change any remaining shortest distance, so for
+every pair of live neighbors ``(u, w)`` whose best path runs through
+the contracted node ``v`` a **shortcut** edge ``u—w`` of weight
+``d(u,v) + d(v,w)`` is inserted — unless a bounded *witness search*
+finds an equally short path avoiding ``v``, in which case the shortcut
+is redundant.  (The witness search is capped; a missed witness only
+inserts a redundant shortcut, never a wrong distance.)
+
+Importance is the classic lazy **edge difference + deleted neighbors**
+heuristic: nodes whose contraction adds few shortcuts relative to the
+edges it removes go first, and nodes whose neighborhoods were already
+thinned are deferred — this keeps the hierarchy shallow and the upward
+degrees small.  Priorities go stale as the graph shrinks, so the queue
+is lazy: a popped node is re-evaluated and re-queued unless it is still
+minimal.  All ties break on node id, making the order (and therefore
+every downstream counter) deterministic.
+
+A query then runs **bidirectional upward Dijkstra**: both endpoints
+relax only edges leading to higher-ranked nodes.  Every shortest path
+has a "peak" decomposition into an upward and a downward segment, so
+the two cones meet at the peak and the minimum meeting sum is the exact
+distance (``inf`` when the cones never meet — disconnected pair).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.graph import RoadNetwork
+
+INFINITY = math.inf
+
+DEFAULT_WITNESS_SETTLE_LIMIT = 64
+"""Nodes a witness search may settle before giving up (redundant
+shortcuts are correct, so the cap trades index size for build time)."""
+
+
+@dataclass
+class ContractionHierarchy:
+    """The preprocessed artifact: contraction order plus upward edges."""
+
+    order: list[int] = field(default_factory=list)
+    """Node ids in contraction order (``order[0]`` contracted first)."""
+
+    rank: dict[int, int] = field(default_factory=dict)
+    """Node id -> position in ``order`` (higher = more important)."""
+
+    upward: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+    """Per node, its ``(neighbor, weight)`` edges toward higher ranks.
+
+    Snapshot of the node's live neighborhood (original edges collapsed
+    to minimum weight, plus shortcuts) at the moment it was contracted;
+    every remaining neighbor is contracted later, hence ranked higher.
+    """
+
+    shortcut_count: int = 0
+    """Shortcut edges inserted during construction."""
+
+
+def _collapsed_adjacency(network: RoadNetwork) -> dict[int, dict[int, float]]:
+    """Simple-graph view: parallel edges collapse to their minimum."""
+    adjacency: dict[int, dict[int, float]] = {
+        node: {} for node in network.node_ids()
+    }
+    for edge in network.edges():
+        best = adjacency[edge.u].get(edge.v)
+        if best is None or edge.length < best:
+            adjacency[edge.u][edge.v] = edge.length
+            adjacency[edge.v][edge.u] = edge.length
+    return adjacency
+
+
+def _witness_distances(
+    adjacency: dict[int, dict[int, float]],
+    source: int,
+    excluded: int,
+    limit: float,
+    settle_limit: int,
+) -> dict[int, float]:
+    """Bounded Dijkstra from ``source`` avoiding ``excluded``.
+
+    Returns exact distances for every settled node; stops once the
+    frontier passes ``limit`` or ``settle_limit`` nodes are settled.
+    """
+    settled: dict[int, float] = {}
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap and len(settled) < settle_limit:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled[node] = dist
+        if dist > limit:
+            break
+        for neighbor, weight in adjacency[node].items():
+            if neighbor == excluded or neighbor in settled:
+                continue
+            candidate = dist + weight
+            if candidate <= limit and candidate < best.get(neighbor, INFINITY):
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return settled
+
+
+def build_contraction_hierarchy(
+    network: RoadNetwork,
+    witness_settle_limit: int = DEFAULT_WITNESS_SETTLE_LIMIT,
+) -> ContractionHierarchy:
+    """Contract every node, returning the finished hierarchy."""
+    adjacency = _collapsed_adjacency(network)
+    deleted_neighbors = {node: 0 for node in adjacency}
+    ch = ContractionHierarchy()
+
+    def plan_contraction(node: int) -> list[tuple[int, int, float]]:
+        """Shortcuts contracting ``node`` would need right now."""
+        neighbors = sorted(adjacency[node].items())
+        shortcuts: list[tuple[int, int, float]] = []
+        for position, (u, to_node) in enumerate(neighbors):
+            targets = neighbors[position + 1 :]
+            if not targets:
+                continue
+            limit = max(to_node + onward for _, onward in targets)
+            witnesses = _witness_distances(
+                adjacency, u, node, limit, witness_settle_limit
+            )
+            for w, onward in targets:
+                through = to_node + onward
+                if witnesses.get(w, INFINITY) > through:
+                    shortcuts.append((u, w, through))
+        return shortcuts
+
+    def priority_of(node: int, shortcuts: list) -> float:
+        return len(shortcuts) - len(adjacency[node]) + deleted_neighbors[node]
+
+    queue: list[tuple[float, int]] = []
+    for node in sorted(adjacency):
+        shortcuts = plan_contraction(node)
+        heapq.heappush(queue, (priority_of(node, shortcuts), node))
+
+    while queue:
+        _, node = heapq.heappop(queue)
+        if node in ch.rank:
+            continue
+        # Lazy re-evaluation: the stored priority may predate neighbor
+        # contractions; re-queue unless the node is still minimal.
+        shortcuts = plan_contraction(node)
+        priority = priority_of(node, shortcuts)
+        if queue and priority > queue[0][0]:
+            heapq.heappush(queue, (priority, node))
+            continue
+
+        ch.rank[node] = len(ch.order)
+        ch.order.append(node)
+        ch.upward[node] = sorted(adjacency[node].items())
+        for u, w, through in shortcuts:
+            existing = adjacency[u].get(w)
+            if existing is None or through < existing:
+                adjacency[u][w] = through
+                adjacency[w][u] = through
+                if existing is None:
+                    ch.shortcut_count += 1
+        for neighbor in adjacency[node]:
+            del adjacency[neighbor][node]
+            deleted_neighbors[neighbor] += 1
+        del adjacency[node]
+
+    return ch
+
+
+def upward_search_space(
+    upward: dict[int, list[tuple[int, float]]], source: int
+) -> dict[int, float]:
+    """Exhaustive upward Dijkstra: node -> distance within the cone.
+
+    The label of ``source`` before pruning (see
+    :mod:`repro.oracle.hublabel`); distances are exact *within the
+    upward graph* and may exceed the true network distance — the
+    bidirectional meeting step is what restores exactness.
+    """
+    settled: dict[int, float] = {}
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled[node] = dist
+        for neighbor, weight in upward[node]:
+            if neighbor in settled:
+                continue
+            candidate = dist + weight
+            if candidate < best.get(neighbor, INFINITY):
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return settled
+
+
+def ch_node_distance(
+    upward: dict[int, list[tuple[int, float]]],
+    source: int,
+    target: int,
+    on_settle: Callable[[int], None] | None = None,
+) -> float:
+    """Bidirectional upward search: exact d(source, target), inf apart.
+
+    ``on_settle`` fires once per settled node (both directions) so the
+    caller can charge page accounting and the ``oracle_nodes_settled``
+    counter without this module importing :mod:`repro.obs`.
+    """
+    if source == target:
+        return 0.0
+    best = INFINITY
+    dist = ({source: 0.0}, {target: 0.0})
+    settled: tuple[dict[int, float], dict[int, float]] = ({}, {})
+    heaps: list[list[tuple[float, int]]] = [[(0.0, source)], [(0.0, target)]]
+    while heaps[0] or heaps[1]:
+        # Advance the direction with the nearer frontier; a frontier at
+        # or past the best meeting sum can no longer improve it.
+        if not heaps[1] or (heaps[0] and heaps[0][0][0] <= heaps[1][0][0]):
+            side = 0
+        else:
+            side = 1
+        d, node = heapq.heappop(heaps[side])
+        if node in settled[side]:
+            continue
+        if d >= best:
+            heaps[side].clear()
+            continue
+        settled[side][node] = d
+        if on_settle is not None:
+            on_settle(node)
+        other = dist[1 - side].get(node)
+        if other is not None and d + other < best:
+            best = d + other
+        for neighbor, weight in upward[node]:
+            if neighbor in settled[side]:
+                continue
+            candidate = d + weight
+            if candidate < dist[side].get(neighbor, INFINITY):
+                dist[side][neighbor] = candidate
+                heapq.heappush(heaps[side], (candidate, neighbor))
+    return best

@@ -1,0 +1,202 @@
+"""The built oracle artifact: signature, statistics, file round-trip.
+
+An :class:`OracleIndex` is everything a :class:`~repro.oracle.runtime.
+DistanceOracle` needs at query time — the contraction order, the upward
+adjacency (shortcuts included) and, for the ``hublabel`` kind, the
+pruned labels — plus a **network signature** binding the index to the
+exact graph it was built on.  Distances depend only on topology and
+edge lengths, so the signature hashes node ids and ``(endpoints,
+length)`` per edge (lengths in ``float.hex`` so the binding is
+bit-exact); attaching an index to a mutated network fails fast instead
+of silently answering from a stale graph.
+
+Persistence is a single JSON document.  Python's JSON round-trips
+float64 exactly (``repr`` shortest-round-trip), the scaled networks
+keep the files small, and a human can read the artifact — the same
+trade the repo's ``.net``/``.obj`` formats make.  The page-accounting
+layout is *not* part of the file: :class:`~repro.oracle.store.
+OracleStore` re-packs records at load time exactly as
+:class:`~repro.network.storage.NetworkStore` does for adjacency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.network.graph import RoadNetwork
+from repro.obs import tracing
+from repro.oracle.ch import (
+    DEFAULT_WITNESS_SETTLE_LIMIT,
+    build_contraction_hierarchy,
+)
+from repro.oracle.hublabel import build_hub_labels
+
+ORACLE_FILE_FORMAT = "repro-oracle"
+ORACLE_FILE_VERSION = 1
+
+
+class OracleIndexError(ValueError):
+    """Malformed, mismatched or wrong-format oracle files/indexes."""
+
+
+def network_signature(network: RoadNetwork) -> str:
+    """A digest of everything network distances depend on.
+
+    Node ids plus per-edge ``(id, endpoints, length)``; coordinates are
+    excluded (they never enter a network distance).  Edge lengths hash
+    as ``float.hex`` so two graphs match iff distances are bit-equal.
+    """
+    digest = hashlib.sha1()
+    digest.update(f"nodes:{network.node_count}\n".encode())
+    for node_id in sorted(network.node_ids()):
+        digest.update(f"n {node_id}\n".encode())
+    for edge_id in sorted(network.edge_ids()):
+        edge = network.edge(edge_id)
+        u, v = sorted((edge.u, edge.v))
+        digest.update(
+            f"e {edge_id} {u} {v} {float(edge.length).hex()}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+@dataclass
+class OracleIndex:
+    """A finished preprocessing artifact (see module docstring)."""
+
+    kind: str
+    signature: str
+    order: list[int]
+    upward: dict[int, list[tuple[int, float]]]
+    labels: dict[int, list[tuple[int, float]]] | None = None
+    shortcut_count: int = 0
+    build_seconds: float = 0.0
+    witness_settle_limit: int = DEFAULT_WITNESS_SETTLE_LIMIT
+    node_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ch", "hublabel"):
+            raise OracleIndexError(f"unknown oracle kind {self.kind!r}")
+        if self.kind == "hublabel" and self.labels is None:
+            raise OracleIndexError("hublabel index carries no labels")
+        if not self.node_count:
+            self.node_count = len(self.order)
+
+    @property
+    def label_entry_count(self) -> int:
+        """Total ``(hub, distance)`` entries across all labels."""
+        if self.labels is None:
+            return 0
+        return sum(len(label) for label in self.labels.values())
+
+    @property
+    def average_label_size(self) -> float:
+        """Mean label length (0.0 for a pure-CH index)."""
+        if not self.labels:
+            return 0.0
+        return self.label_entry_count / len(self.labels)
+
+
+def build_oracle_index(
+    network: RoadNetwork,
+    kind: str = "ch",
+    witness_settle_limit: int = DEFAULT_WITNESS_SETTLE_LIMIT,
+) -> OracleIndex:
+    """Run the preprocessing pipeline for one network.
+
+    Opens an ``oracle.build`` span; callers that must keep the build
+    off a live query's trace (the lazy backend path) wrap this call in
+    :func:`repro.obs.tracing.suppressed`.
+    """
+    if kind not in ("ch", "hublabel"):
+        raise OracleIndexError(f"unknown oracle kind {kind!r}")
+    started = time.perf_counter()
+    with tracing.span("oracle.build", kind=kind, nodes=network.node_count):
+        ch = build_contraction_hierarchy(
+            network, witness_settle_limit=witness_settle_limit
+        )
+        labels = build_hub_labels(ch) if kind == "hublabel" else None
+    return OracleIndex(
+        kind=kind,
+        signature=network_signature(network),
+        order=ch.order,
+        upward=ch.upward,
+        labels=labels,
+        shortcut_count=ch.shortcut_count,
+        build_seconds=time.perf_counter() - started,
+        witness_settle_limit=witness_settle_limit,
+    )
+
+
+def _entries_to_json(entries: dict[int, list[tuple[int, float]]]) -> dict:
+    return {
+        str(node): [[other, weight] for other, weight in pairs]
+        for node, pairs in entries.items()
+    }
+
+
+def _entries_from_json(payload: dict) -> dict[int, list[tuple[int, float]]]:
+    return {
+        int(node): [(int(other), float(weight)) for other, weight in pairs]
+        for node, pairs in payload.items()
+    }
+
+
+def save_oracle_index(index: OracleIndex, path: str) -> str:
+    """Write the index as one JSON document; returns ``path``."""
+    document = {
+        "format": ORACLE_FILE_FORMAT,
+        "version": ORACLE_FILE_VERSION,
+        "kind": index.kind,
+        "signature": index.signature,
+        "node_count": index.node_count,
+        "shortcut_count": index.shortcut_count,
+        "build_seconds": round(index.build_seconds, 6),
+        "witness_settle_limit": index.witness_settle_limit,
+        "order": index.order,
+        "upward": _entries_to_json(index.upward),
+        "labels": (
+            _entries_to_json(index.labels) if index.labels is not None else None
+        ),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+def load_oracle_index(path: str) -> OracleIndex:
+    """Read an index file back, validating format and version."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise OracleIndexError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise OracleIndexError(f"{path}: not an oracle index document")
+    if document.get("format") != ORACLE_FILE_FORMAT:
+        raise OracleIndexError(
+            f"{path}: format {document.get('format')!r} is not "
+            f"{ORACLE_FILE_FORMAT!r}"
+        )
+    if document.get("version") != ORACLE_FILE_VERSION:
+        raise OracleIndexError(
+            f"{path}: version {document.get('version')!r} unsupported "
+            f"(expected {ORACLE_FILE_VERSION})"
+        )
+    labels = document.get("labels")
+    return OracleIndex(
+        kind=document["kind"],
+        signature=document["signature"],
+        order=[int(node) for node in document["order"]],
+        upward=_entries_from_json(document["upward"]),
+        labels=_entries_from_json(labels) if labels is not None else None,
+        shortcut_count=int(document.get("shortcut_count", 0)),
+        build_seconds=float(document.get("build_seconds", 0.0)),
+        witness_settle_limit=int(
+            document.get("witness_settle_limit", DEFAULT_WITNESS_SETTLE_LIMIT)
+        ),
+        node_count=int(document.get("node_count", 0)),
+    )

@@ -167,7 +167,13 @@ class TestExpanderPool:
 # ----------------------------------------------------------------------
 class TestBackends:
     def test_backend_names_stable(self):
-        assert BACKEND_NAMES == ("astar", "astar+landmarks", "dijkstra")
+        assert BACKEND_NAMES == (
+            "astar",
+            "astar+landmarks",
+            "ch",
+            "dijkstra",
+            "hublabel",
+        )
 
     def test_unknown_backend_rejected(self):
         network, _ = small_workspace()
