@@ -9,7 +9,12 @@ Installed as the ``repro`` console script (also runnable as
 * ``query``      — run a multi-source skyline query over network/object
   files, print the answer table, optionally render an SVG;
 * ``trace``      — run one query with tracing on and print its span
-  tree (per-phase timings, page reads, settled nodes);
+  tree (per-phase timings, page reads, settled nodes); ``--last``
+  renders the most recent exported trace or flight record from a
+  ``--trace-dir`` instead of running anything;
+* ``blackbox``   — render a flight-record dump (recent completed
+  traces, in-flight span trees, thread stacks) written by the
+  service's flight recorder (:mod:`repro.obs.recorder`);
 * ``route``      — shortest path between two junctions;
 * ``oracle``     — ``build`` a contraction-hierarchy / hub-label
   distance oracle for a network file, ``verify`` one against online
@@ -131,17 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="run one query and print its trace as a span tree"
     )
-    trace.add_argument("network")
-    trace.add_argument("objects")
+    trace.add_argument("network", nargs="?")
+    trace.add_argument("objects", nargs="?")
     trace.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="LBC"
     )
-    trace_group = trace.add_mutually_exclusive_group(required=True)
+    trace_group = trace.add_mutually_exclusive_group()
     trace_group.add_argument(
         "--query-nodes", type=int, nargs="+", help="junction ids"
     )
     trace_group.add_argument(
         "--random-queries", type=int, help="draw N query junctions"
+    )
+    trace.add_argument(
+        "--last", action="store_true",
+        help="render the most recent exported trace or flight record "
+        "from --trace-dir instead of running a query",
+    )
+    trace.add_argument(
+        "--trace-dir", default=None,
+        help="directory of exported traces / flight records (with --last)",
     )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
@@ -155,6 +169,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--max-depth", type=int, default=8)
     trace.add_argument("--json", help="also write the trace as JSON here")
+
+    blackbox = sub.add_parser(
+        "blackbox",
+        help="inspect a flight-record dump (ring, in-flight spans, stacks)",
+    )
+    blackbox.add_argument(
+        "path", nargs="?",
+        help="flight-record JSON (default: newest in --dir)",
+    )
+    blackbox.add_argument(
+        "--dir", default=None,
+        help="directory of flightrecord-*.json dumps",
+    )
+    blackbox.add_argument(
+        "--keys", nargs="+",
+        help="counters to show per span (default: pages + settled nodes)",
+    )
+    blackbox.add_argument("--max-depth", type=int, default=6)
+    blackbox.add_argument(
+        "--no-threads", action="store_true",
+        help="omit the per-thread stack section",
+    )
 
     route = sub.add_parser("route", help="shortest path between junctions")
     route.add_argument("network")
@@ -430,6 +466,21 @@ def _cmd_query(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.obs import format_trace
 
+    if args.last:
+        return _render_last_trace(args)
+    if not args.network or not args.objects:
+        print(
+            "error: network and objects are required unless --last is given",
+            file=sys.stderr,
+        )
+        return 2
+    if args.query_nodes is None and args.random_queries is None:
+        print(
+            "error: provide --query-nodes or --random-queries "
+            "(or use --last)",
+            file=sys.stderr,
+        )
+        return 2
     network = load_network(args.network)
     objects = load_objects(network, args.objects)
     workspace = Workspace.build(
@@ -470,6 +521,92 @@ def _cmd_trace(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(root.to_dict(), handle, indent=1)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _render_last_trace(args) -> int:
+    """``repro trace --last``: newest trace or flight record on disk."""
+    import glob
+    import json
+    import os
+
+    from repro.obs import Span, format_flight_record, format_trace
+
+    if not args.trace_dir:
+        print("error: --last requires --trace-dir", file=sys.stderr)
+        return 2
+    candidates = [
+        path
+        for pattern in ("trace-*.json", "flightrecord-*.json")
+        for path in glob.glob(os.path.join(args.trace_dir, pattern))
+    ]
+    if not candidates:
+        print(
+            f"error: no trace-*.json or flightrecord-*.json under "
+            f"{args.trace_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    newest = max(candidates, key=os.path.getmtime)
+    with open(newest) as handle:
+        payload = json.load(handle)
+    print(f"{newest}:")
+    keys = tuple(args.keys) if args.keys else None
+    if "flight_record" in payload:
+        extra = {"keys": keys} if keys else {}
+        print(
+            format_flight_record(
+                payload,
+                max_depth=args.max_depth,
+                include_threads=False,
+                **extra,
+            )
+        )
+    elif keys:
+        print(
+            format_trace(
+                Span.from_dict(payload), keys=keys, max_depth=args.max_depth
+            )
+        )
+    else:
+        print(format_trace(Span.from_dict(payload), max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_blackbox(args) -> int:
+    """``repro blackbox``: render a flight-record dump."""
+    from repro.obs import format_flight_record, latest_flight_record
+    from repro.obs.recorder import load_flight_record
+
+    path = args.path
+    if path is None:
+        if not args.dir:
+            print(
+                "error: give a flight-record path or --dir", file=sys.stderr
+            )
+            return 2
+        path = latest_flight_record(args.dir)
+        if path is None:
+            print(
+                f"error: no flightrecord-*.json under {args.dir}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        payload = load_flight_record(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{path}:")
+    extra = {"keys": tuple(args.keys)} if args.keys else {}
+    print(
+        format_flight_record(
+            payload,
+            max_depth=args.max_depth,
+            include_threads=not args.no_threads,
+            **extra,
+        )
+    )
     return 0
 
 
@@ -682,6 +819,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "query": _cmd_query,
         "trace": _cmd_trace,
+        "blackbox": _cmd_blackbox,
         "route": _cmd_route,
         "oracle": _cmd_oracle,
         "serve": _cmd_serve,

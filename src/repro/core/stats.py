@@ -18,6 +18,28 @@ from dataclasses import dataclass, field
 
 _EXTRA_VALUE_TYPES = (bool, int, float, str)
 
+SPAN_COUNTER_FIELDS = (
+    "nodes_settled",
+    "distance_computations",
+    "lb_expansions",
+    "engine_hits",
+    "engine_misses",
+    "engine_evictions",
+    "network_pages",
+    "index_pages",
+    "middle_pages",
+    "oracle_pages",
+    "oracle_nodes_settled",
+    "oracle_label_entries",
+    "oracle_fallbacks",
+)
+"""The QueryStats fields filled from root-span counter totals.
+
+The wide-event log (:mod:`repro.obs.events`) emits exactly this block
+per query, read off the same object the client response carries — so
+events and stats reconcile field-for-field by construction.
+"""
+
 
 @dataclass
 class QueryStats:
@@ -127,6 +149,15 @@ class QueryStats:
                     f"(bool/int/float/str), got {type(value).__name__}"
                 )
             self.extras[key] = value
+
+    def counter_fields(self) -> dict[str, int]:
+        """The span-derived cost counters as one flat dict.
+
+        This is the ``counters`` block of the query's wide event;
+        emitting it from the same object the response carries is what
+        makes event-vs-stats reconciliation exact.
+        """
+        return {name: getattr(self, name) for name in SPAN_COUNTER_FIELDS}
 
     def as_row(self) -> dict[str, float]:
         """Flat dictionary for tabular reporting."""

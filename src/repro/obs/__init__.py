@@ -19,10 +19,29 @@ package exactly once, in one of three shapes:
 * **Slow-query log** (:mod:`repro.obs.slowlog`) — threshold-filtered,
   reservoir-sampled records of the worst requests a service answered.
 
+PR 8 adds the *post-hoc* diagnostics plane on the same substrate:
+
+* **Wide events** (:mod:`repro.obs.events`) — one canonical JSONL
+  record per query through a bounded-queue async writer with size
+  rotation and exact emitted/written/dropped accounting.
+* **Flight recorder** (:mod:`repro.obs.recorder`) — an always-on ring
+  of recent completed traces plus triggered black-box dumps (in-flight
+  span trees, thread stacks) and a stall watchdog over the in-flight
+  query registry.
+* **SLO monitor** (:mod:`repro.obs.slo`) — declarative latency and
+  availability objectives evaluated as multi-window burn rates over
+  histogram snapshots (``GET /sloz``).
+
 Layering: ``obs`` sits below everything (stdlib only); storage, index,
 engine, core and service all call *into* it and never the reverse.
 """
 
+from repro.obs.events import (
+    EventLog,
+    iter_events,
+    read_events,
+    wide_event,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricFamily,
@@ -38,12 +57,31 @@ from repro.obs.names import (
     is_registered_metric_family,
     is_registered_span_name,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    InFlightTable,
+    StallWatchdog,
+    format_flight_record,
+    install_signal_dump,
+    latest_flight_record,
+    load_flight_record,
+    thread_stacks,
+)
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    Objective,
+    SLOMonitor,
+    histogram_good_total,
+)
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tracing import (
     Span,
     Tracer,
     activate,
+    active_roots,
     active_span_of_thread,
+    active_spans,
     current_span,
     format_trace,
     record,
@@ -54,11 +92,19 @@ from repro.obs.tracing import (
 __all__ = [
     "COUNTER_KEYS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_WINDOWS",
     "METRIC_FAMILIES",
+    "BurnWindow",
+    "EventLog",
+    "FlightRecorder",
+    "InFlightTable",
     "MetricFamily",
     "MetricRegistry",
+    "Objective",
+    "SLOMonitor",
     "SPAN_NAMES",
     "SPAN_NAME_PATTERNS",
+    "StallWatchdog",
     "is_registered_counter_key",
     "is_registered_metric_family",
     "is_registered_span_name",
@@ -67,11 +113,22 @@ __all__ = [
     "Span",
     "Tracer",
     "activate",
+    "active_roots",
     "active_span_of_thread",
+    "active_spans",
     "current_span",
+    "format_flight_record",
     "format_trace",
+    "histogram_good_total",
+    "install_signal_dump",
+    "iter_events",
+    "latest_flight_record",
+    "load_flight_record",
     "parse_prometheus_text",
     "record",
+    "read_events",
     "span",
     "suppressed",
+    "thread_stacks",
+    "wide_event",
 ]

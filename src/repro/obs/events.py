@@ -1,0 +1,316 @@
+"""Wide-event query log: one canonical JSONL record per query.
+
+Metrics aggregate and traces sample; the *wide event* is the durable
+per-query record in between — everything known about one request
+(metadata, outcome, every span-derived cost counter, batch/group id,
+trace id) flattened into a single JSON line, so "what happened to that
+query last night?" is one ``grep`` away and joins against traces and
+the slow-query log by ``trace_id``.
+
+Design constraints, in order:
+
+* **The serving hot path never blocks on disk.**  :meth:`EventLog.emit`
+  is a bounded-queue handoff to a dedicated writer thread; when the
+  queue is full the event is *dropped and counted* (``events_dropped``)
+  instead of stalling a worker.  The accounting identity
+  ``emitted == written + dropped`` holds exactly once the log is
+  closed, and is asserted by the backpressure tests.
+* **Bounded disk.**  The writer rotates the file by size
+  (``events.jsonl`` → ``events.jsonl.1`` → …), keeping a fixed number
+  of rotated generations.
+* **Reconciliation by construction.**  The event's ``counters`` block
+  is built from the *same* :class:`~repro.core.stats.QueryStats` the
+  client response carries (see ``QueryStats.counter_fields``), so the
+  event and the stats row cannot drift apart.
+
+``obs`` is a standalone foundation package: this module knows nothing
+about the service or the core layer — callers hand it plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from typing import Any, Iterator
+
+WIDE_EVENT_VERSION = 1
+
+DEFAULT_EVENT_QUEUE = 1024
+DEFAULT_ROTATE_BYTES = 8 * 1024 * 1024
+DEFAULT_ROTATE_KEEP = 3
+
+_NUMBER_TYPES = (int, float)
+
+
+def wide_event(
+    *,
+    request_id: int | str,
+    algorithm: str,
+    outcome: str,
+    trace_id: str | None = None,
+    ts: float | None = None,
+    latency_s: float = 0.0,
+    span_duration_s: float = 0.0,
+    batch_id: int | None = None,
+    engine_backend: str = "",
+    query_count: int = 0,
+    query_nodes: list | None = None,
+    skyline_count: int = 0,
+    candidate_count: int = 0,
+    counters: dict[str, float] | None = None,
+    error: str | None = None,
+    extras: dict[str, Any] | None = None,
+    event: str = "query",
+) -> dict[str, Any]:
+    """Assemble one canonical wide event (plain JSON-serialisable dict).
+
+    ``counters`` values must be numbers — they are the span-derived
+    cost counters and downstream consumers sum them; a non-numeric
+    value fails here, at the producer, not in some 3am log query.
+    """
+    checked: dict[str, float] = {}
+    for key, value in (counters or {}).items():
+        if not isinstance(key, str) or not key:
+            raise TypeError(f"counter keys must be non-empty str, got {key!r}")
+        if isinstance(value, bool) or not isinstance(value, _NUMBER_TYPES):
+            raise TypeError(
+                f"counters[{key!r}] must be a number, got {type(value).__name__}"
+            )
+        checked[key] = int(value) if float(value).is_integer() else float(value)
+    record: dict[str, Any] = {
+        "event": event,
+        "v": WIDE_EVENT_VERSION,
+        "ts": time.time() if ts is None else ts,
+        "request_id": request_id,
+        "algorithm": algorithm,
+        "outcome": outcome,
+        "trace_id": trace_id,
+        "batch_id": batch_id,
+        "engine_backend": engine_backend,
+        "latency_s": latency_s,
+        "span_duration_s": span_duration_s,
+        "query_count": query_count,
+        "query_nodes": list(query_nodes or []),
+        "skyline_count": skyline_count,
+        "candidate_count": candidate_count,
+        "counters": checked,
+    }
+    if error is not None:
+        record["error"] = error
+    if extras:
+        record["extras"] = dict(extras)
+    return record
+
+
+class EventLog:
+    """Bounded-queue async JSONL writer with size-based rotation.
+
+    One writer thread owns the file; producers call :meth:`emit`, which
+    either enqueues (cheap: one ``Queue.put_nowait``) or drops.  All
+    four lifecycle counters — emitted, written, dropped, rotations —
+    are exact, and ``flush()``/``close()`` provide the barriers tests
+    and shutdown paths need.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        queue_limit: int = DEFAULT_EVENT_QUEUE,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        rotate_keep: int = DEFAULT_ROTATE_KEEP,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {queue_limit}")
+        if rotate_bytes < 1:
+            raise ValueError(f"rotate_bytes must be >= 1, got {rotate_bytes}")
+        if rotate_keep < 1:
+            raise ValueError(f"rotate_keep must be >= 1, got {rotate_keep}")
+        self.path = path
+        self.rotate_bytes = rotate_bytes
+        self.rotate_keep = rotate_keep
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._state = threading.Condition()
+        # Guarded by _state's lock.
+        self._emitted = 0
+        self._written = 0
+        self._dropped = 0
+        self._rotations = 0
+        self._closed = False
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+        self._thread = threading.Thread(
+            target=self._writer_loop, name="repro-events", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer side -------------------------------------------------
+
+    def emit(self, event: dict[str, Any]) -> bool:
+        """Enqueue one event; returns False (and counts) when shedding.
+
+        Never blocks: a full queue means the writer is behind, and a
+        diagnostics plane that stalls the plane it diagnoses would be
+        worse than a gap in the log.
+        """
+        with self._state:
+            self._emitted += 1
+            if self._closed:
+                self._dropped += 1
+                return False
+        try:
+            self._queue.put_nowait(event)
+        except queue.Full:
+            with self._state:
+                self._dropped += 1
+            return False
+        return True
+
+    # -- writer side ---------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                with self._state:
+                    if self._closed and self._queue.empty():
+                        return
+                continue
+            if item is None:  # close() sentinel
+                return
+            self._write_record(item)
+            with self._state:
+                self._written += 1
+                self._state.notify_all()
+
+    def _write_record(self, event: dict[str, Any]) -> None:
+        """Serialise + append one record (writer thread only).
+
+        Split out as a method so tests can subclass with an artificially
+        slow writer to drive the backpressure path deterministically.
+        """
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        encoded = len(line.encode("utf-8"))
+        if self._size > 0 and self._size + encoded > self.rotate_bytes:
+            self._rotate()
+        self._handle.write(line)
+        self._handle.flush()
+        self._size += encoded
+
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> … -> ``path.keep`` (dropped)."""
+        self._handle.close()
+        oldest = f"{self.path}.{self.rotate_keep}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.rotate_keep - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        with self._state:
+            self._rotations += 1
+
+    # -- barriers ------------------------------------------------------
+
+    def flush(self, timeout: float | None = 5.0) -> bool:
+        """Block until everything emitted so far is written or dropped."""
+        with self._state:
+            target = self._emitted
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._written + self._dropped < target:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._state.wait(remaining)
+        return True
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Drain the queue, stop the writer, close the file."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+        self.flush(timeout=timeout)
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
+        self._thread.join(timeout=timeout)
+        self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Exact lifecycle accounting (emitted = written + dropped
+        once closed)."""
+        with self._state:
+            return {
+                "emitted": self._emitted,
+                "written": self._written,
+                "dropped": self._dropped,
+                "rotations": self._rotations,
+                "queue_depth": self._queue.qsize(),
+            }
+
+    @property
+    def emitted(self) -> int:
+        with self._state:
+            return self._emitted
+
+    @property
+    def written(self) -> int:
+        with self._state:
+            return self._written
+
+    @property
+    def dropped(self) -> int:
+        with self._state:
+            return self._dropped
+
+    @property
+    def rotations(self) -> int:
+        with self._state:
+            return self._rotations
+
+
+def iter_events(path: str, include_rotated: bool = True) -> Iterator[dict]:
+    """Parsed events, oldest first, optionally across rotated files."""
+    paths: list[str] = []
+    if include_rotated:
+        generation = 1
+        rotated: list[str] = []
+        while os.path.exists(f"{path}.{generation}"):
+            rotated.append(f"{path}.{generation}")
+            generation += 1
+        paths.extend(reversed(rotated))
+    if os.path.exists(path):
+        paths.append(path)
+    for file_path in paths:
+        with open(file_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+def read_events(path: str, include_rotated: bool = True) -> list[dict]:
+    """All events under ``path`` (rotations included), oldest first."""
+    return list(iter_events(path, include_rotated=include_rotated))

@@ -155,6 +155,11 @@ class Histogram:
                 self._counts[-1] += 1
 
     @property
+    def bounds(self) -> tuple[float, ...]:
+        """Upper bucket bounds, excluding the implicit +Inf bucket."""
+        return self._buckets
+
+    @property
     def count(self) -> int:
         with self._lock:
             return self._count

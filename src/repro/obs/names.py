@@ -136,6 +136,15 @@ METRIC_FAMILIES = frozenset(
         "repro_service_slow_queries_total",
         "repro_service_request_latency_seconds",
         "repro_service_batch_size",
+        # Diagnostics plane (repro.service.service over repro.obs.events
+        # / recorder / slo): wide-event lifecycle accounting, in-flight
+        # registry size, watchdog stall detections, flight-record dumps,
+        # and per-objective long-window burn rates.
+        "repro_service_events_total",
+        "repro_service_inflight",
+        "repro_service_stalls_total",
+        "repro_service_flight_dumps_total",
+        "repro_slo_burn_rate",
     }
 )
 """Every Prometheus metric family ``/metricsz`` may expose."""

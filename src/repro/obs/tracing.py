@@ -221,6 +221,34 @@ def active_span_of_thread(thread_id: int) -> Span | None:
     return _ACTIVE_BY_THREAD.get(thread_id)
 
 
+def active_spans() -> dict[int, Span]:
+    """Snapshot of every thread's innermost active span.
+
+    Cross-thread read (flight recorder, ``/debugz``): the dict copy is
+    atomic under the GIL; the spans inside are live and may still be
+    mutating.
+    """
+    return {
+        ident: node
+        for ident, node in dict(_ACTIVE_BY_THREAD).items()
+        if node is not None
+    }
+
+
+def active_roots() -> dict[int, Span]:
+    """Like :func:`active_spans` but walked up to each tree's root.
+
+    The flight recorder dumps whole in-flight trees, not just the leaf
+    phase a thread happens to be inside.
+    """
+    roots: dict[int, Span] = {}
+    for ident, node in active_spans().items():
+        while node.parent is not None:
+            node = node.parent
+        roots[ident] = node
+    return roots
+
+
 def _set_active(node: Span | None) -> int:
     ident = threading.get_ident()
     if node is None:

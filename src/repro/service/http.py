@@ -11,13 +11,24 @@ one handler.  Routes:
   "length": 2.5}`` / ``{"op": "add_object", ...}`` / ``{"op":
   "remove_object", "object_id": 7}``.  Runs behind the workspace's
   write lock.
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — readiness: version, uptime, in-flight count,
+  queue depth and worker saturation (one signal for load balancers
+  and the stall watchdog alike).
 * ``GET /statsz``  — the service's full stats block (queue depth, shed
   count, latency percentiles, batch and engine/buffer counters).
 * ``GET /metricsz`` — the shared metric registry in Prometheus text
   exposition format (``text/plain; version=0.0.4``).
 * ``GET /slowlogz`` — the slow-query log: threshold, total slow count
   and the reservoir-sampled records, slowest first.
+* ``GET /sloz``    — every declared objective's multi-window burn-rate
+  verdict (see :mod:`repro.obs.slo`).
+* ``GET /debugz``  — live in-flight span trees, per-thread active
+  spans, queue/worker state and diagnostics-plane accounting.
+
+Trace correlation: a client may send ``X-Repro-Trace-Id`` on
+``POST /query``; the id is stamped onto the request's root span (and
+therefore into the wide event, the slow-query log and any flight
+record) and echoed back on the response, success or failure.
 
 Typed service failures map onto status codes: ``Overloaded`` → 503
 (with ``Retry-After``), ``DeadlineExceeded`` → 504, ``BadRequest`` and
@@ -31,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import signal
 import sys
 import threading
@@ -41,6 +53,7 @@ from repro.core import Workspace
 from repro.engine import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.objects import SpatialObject
+from repro.obs import install_signal_dump
 from repro.service.errors import (
     BadRequest,
     DeadlineExceeded,
@@ -57,6 +70,9 @@ from repro.service.service import (
 )
 
 MAX_BODY_BYTES = 1 << 20  # requests are tiny; anything bigger is abuse
+
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
 
 def parse_query_locations(body: dict, network: RoadNetwork) -> list[NetworkLocation]:
@@ -153,10 +169,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_echo_trace_id", None)
+        if trace_id:
+            # Echo the client's correlation id on every outcome, so a
+            # 503/504 is still joinable against server-side telemetry.
+            self.send_header(TRACE_ID_HEADER, trace_id)
         for name, value in headers:
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _client_trace_id(self) -> str | None:
+        """Validated ``X-Repro-Trace-Id`` header value, if present."""
+        raw = self.headers.get(TRACE_ID_HEADER)
+        if raw is None:
+            return None
+        if not _TRACE_ID_RE.match(raw):
+            raise BadRequest(
+                f"{TRACE_ID_HEADER} must match {_TRACE_ID_RE.pattern}"
+            )
+        return raw
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         if status >= 500:
@@ -187,7 +219,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
             if self.path == "/healthz":
-                self._send_json(200, {"status": "ok"})
+                self._send_json(200, self.server.service.health_dict())
             elif self.path == "/statsz":
                 self._send_json(200, self.server.service.stats_dict())
             elif self.path == "/metricsz":
@@ -198,13 +230,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/slowlogz":
                 self._send_json(200, self.server.service.slow_queries.to_dict())
+            elif self.path == "/sloz":
+                self._send_json(200, self.server.service.slo_report())
+            elif self.path == "/debugz":
+                self._send_json(200, self.server.service.debug_dict())
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
         except Exception as exc:
             self._send_json(500, {"error": f"internal error: {exc}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._echo_trace_id = None
         try:
+            self._echo_trace_id = self._client_trace_id()
             body = self._read_body()
             if self.path == "/query":
                 self._handle_query(body)
@@ -240,8 +278,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if timeout_s is not None:
             timeout_s = float(timeout_s)
         queries = parse_query_locations(body, service.workspace.network)
-        result = service.query(algorithm, queries, timeout_s=timeout_s)
-        self._send_json(200, result_payload(result))
+        result = service.query(
+            algorithm,
+            queries,
+            timeout_s=timeout_s,
+            trace_id=self._echo_trace_id,
+        )
+        payload = result_payload(result)
+        payload["trace_id"] = result.stats.trace_id
+        self._send_json(200, payload)
 
     def _handle_mutate(self, body: dict) -> None:
         service = self.server.service
@@ -313,6 +358,20 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="requests slower than this land in the slow-query log",
     )
     parser.add_argument(
+        "--event-log", default=None,
+        help="append one wide JSONL event per query to this file",
+    )
+    parser.add_argument(
+        "--flight-dir", default=None,
+        help="write flight-record dumps (errors, slow queries, stalls, "
+        "SIGUSR2) to this directory",
+    )
+    parser.add_argument(
+        "--stall-deadline-s", type=float, default=None,
+        help="flag in-flight queries with no counter progress for this "
+        "long (off by default)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -346,7 +405,13 @@ def run_serve(args) -> int:
         max_batch=args.max_batch,
         slow_threshold_s=args.slow_threshold_s,
         trace_export_dir=args.trace_dir,
+        event_log_path=args.event_log,
+        flight_dir=args.flight_dir,
+        stall_deadline_s=args.stall_deadline_s,
     )
+    # Operator button: SIGUSR2 forces a flight-record dump (no-op when
+    # --flight-dir is unset or the platform lacks the signal).
+    install_signal_dump(service.recorder)
     server = ServiceHTTPServer(
         (args.host, args.port), service, quiet=not args.verbose
     )
@@ -370,6 +435,23 @@ def run_serve(args) -> int:
         if args.trace_dir:
             paths = service.tracer.save(args.trace_dir)
             print(f"saved {len(paths)} traces to {args.trace_dir}", flush=True)
+        report = service.slo_report()
+        for objective in report["objectives"]:
+            verdict = "VIOLATING" if objective["violating"] else "ok"
+            print(
+                f"slo {objective['name']}: {verdict} "
+                f"target={objective['target']} "
+                f"compliance={objective['compliance']} "
+                f"({objective['good']:.0f}/{objective['total']:.0f} good)",
+                flush=True,
+            )
+        if args.event_log and service.events is not None:
+            stats = service.events.stats()
+            print(
+                f"wide events: {stats['written']} written, "
+                f"{stats['dropped']} dropped -> {args.event_log}",
+                flush=True,
+            )
         print("shutdown complete", flush=True)
     return 0
 

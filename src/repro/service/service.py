@@ -38,10 +38,27 @@ import time
 from collections import deque
 from typing import Callable, Mapping
 
+from repro import __version__
 from repro.core import ALL_ALGORITHMS, NaiveSkyline, Workspace
 from repro.core.result import SkylineResult
 from repro.network.graph import NetworkLocation
-from repro.obs import DEFAULT_LATENCY_BUCKETS, SlowQueryLog, Span, Tracer
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    EventLog,
+    FlightRecorder,
+    InFlightTable,
+    Objective,
+    SLOMonitor,
+    SlowQueryLog,
+    Span,
+    StallWatchdog,
+    Tracer,
+    histogram_good_total,
+    wide_event,
+)
+from repro.obs import tracing
 from repro.service.batching import BatchPlanner, ServiceRequest, execute_plan
 from repro.service.errors import (
     BadRequest,
@@ -62,6 +79,12 @@ DEFAULT_MAX_BATCH = 8
 DEFAULT_BATCH_WINDOW_S = 0.002
 DEFAULT_SLOW_THRESHOLD_S = 0.5
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+DEFAULT_FLIGHT_RING = 64
+DEFAULT_DIAG_INTERVAL_S = 0.25
+DEFAULT_SLO_OBSERVE_INTERVAL_S = 5.0
+DEFAULT_SLO_LATENCY_TARGET = 0.99
+DEFAULT_SLO_LATENCY_THRESHOLD_S = 0.25
+DEFAULT_SLO_AVAILABILITY_TARGET = 0.999
 
 
 class PendingQuery:
@@ -111,6 +134,17 @@ class QueryService:
         slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
         trace_retention: int = 128,
         trace_export_dir: str | None = None,
+        event_log: EventLog | None = None,
+        event_log_path: str | None = None,
+        flight_dir: str | None = None,
+        flight_ring: int = DEFAULT_FLIGHT_RING,
+        stall_deadline_s: float | None = None,
+        diag_interval_s: float = DEFAULT_DIAG_INTERVAL_S,
+        slo_windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        slo_latency_target: float = DEFAULT_SLO_LATENCY_TARGET,
+        slo_latency_threshold_s: float = DEFAULT_SLO_LATENCY_THRESHOLD_S,
+        slo_availability_target: float = DEFAULT_SLO_AVAILABILITY_TARGET,
+        slo_observe_interval_s: float = DEFAULT_SLO_OBSERVE_INTERVAL_S,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -143,16 +177,65 @@ class QueryService:
         self._mutations = 0
         self._batches = 0
         self._batched_requests = 0
+        self._busy_workers = 0
 
         self.latency = LatencyRecorder()
         self.tracer = Tracer(
             retention=trace_retention, export_dir=trace_export_dir
         )
         self.slow_queries = SlowQueryLog(threshold_s=slow_threshold_s)
+
+        # Diagnostics plane: wide events, flight recorder, watchdog, SLO
+        # monitor.  The service owns their lifecycle (close() tears them
+        # down) even when an EventLog instance is passed in.
+        if event_log is None and event_log_path is not None:
+            event_log = EventLog(event_log_path)
+        self.events = event_log
+        self.inflight = InFlightTable()
+        self.recorder = FlightRecorder(
+            ring=flight_ring, dump_dir=flight_dir, inflight=self.inflight
+        )
+        self.watchdog = (
+            StallWatchdog(
+                self.inflight,
+                deadline_s=stall_deadline_s,
+                on_stall=self._on_stall,
+            )
+            if stall_deadline_s is not None
+            else None
+        )
+        self.slow_threshold_s = slow_threshold_s
+        self.slo = SLOMonitor(windows=slo_windows)
+        self._slo_latency_threshold_s = slo_latency_threshold_s
+
         # The service shares the workspace's registry so one /metricsz
         # scrape covers the whole stack: service -> engine -> buffers.
         self.metrics = workspace.metrics
         self._register_metrics()
+        self.slo.add_objective(
+            Objective(
+                "latency",
+                target=slo_latency_target,
+                threshold_s=slo_latency_threshold_s,
+                description=(
+                    f"{slo_latency_target:.0%} of queries finish within "
+                    f"{slo_latency_threshold_s * 1e3:.0f}ms"
+                ),
+            ),
+            self._latency_good_total,
+        )
+        self.slo.add_objective(
+            Objective(
+                "availability",
+                target=slo_availability_target,
+                description=(
+                    f"{slo_availability_target:.1%} of finished queries "
+                    "succeed"
+                ),
+            ),
+            self._availability_good_total,
+        )
+        self._register_slo_metrics()
         self._started_monotonic = time.monotonic()
         self._started_wall = time.time()
 
@@ -164,6 +247,13 @@ class QueryService:
         ]
         for thread in self._threads:
             thread.start()
+        self._diag_stop = threading.Event()
+        self._diag_interval_s = diag_interval_s
+        self._slo_observe_interval_s = slo_observe_interval_s
+        self._diag_thread = threading.Thread(
+            target=self._diag_loop, name="repro-diag", daemon=True
+        )
+        self._diag_thread.start()
 
     def _register_metrics(self) -> None:
         """Expose the service's counters on the shared registry.
@@ -228,6 +318,91 @@ class QueryService:
             "Requests per executed batch plan.",
             buckets=BATCH_SIZE_BUCKETS,
         ).labels()
+        registry.register_callback(
+            "repro_service_inflight",
+            lambda: float(self.inflight.count()),
+            kind="gauge",
+            help_text="Queries admitted but not yet finished.",
+        )
+        registry.register_callback(
+            "repro_service_stalls_total",
+            lambda: float(
+                self.watchdog.stall_count if self.watchdog else 0
+            ),
+            kind="counter",
+            help_text="In-flight queries flagged stalled by the watchdog.",
+        )
+        registry.register_callback(
+            "repro_service_flight_dumps_total",
+            lambda: float(self.recorder.dump_count),
+            kind="counter",
+            help_text="Flight-record dumps written to disk.",
+        )
+        if self.events is not None:
+            events = registry.counter(
+                "repro_service_events_total",
+                "Wide-event log lifecycle accounting.",
+                labels=("event",),
+            )
+            for label, reader in (
+                ("emitted", lambda: float(self.events.emitted)),
+                ("written", lambda: float(self.events.written)),
+                ("dropped", lambda: float(self.events.dropped)),
+                ("rotated", lambda: float(self.events.rotations)),
+            ):
+                events.attach_callback(reader, event=label)
+
+    def _register_slo_metrics(self) -> None:
+        """One long-window burn-rate gauge per objective (scrape-time)."""
+        registry = self.metrics
+        long_s = self.slo.windows[0].long_s
+        for objective in self.slo.objectives():
+            registry.register_callback(
+                "repro_slo_burn_rate",
+                lambda name=objective.name: self.slo.burn_rate(name, long_s),
+                kind="gauge",
+                help_text="Error-budget burn rate over the shortest "
+                "long window (1.0 spends the budget exactly).",
+                objective=objective.name,
+            )
+
+    # -- diagnostics-plane sources and triggers ------------------------
+
+    def _latency_good_total(self) -> tuple[float, float]:
+        """Cumulative (within-threshold, all) latency observations."""
+        return histogram_good_total(
+            self._latency_hist, self._slo_latency_threshold_s
+        )
+
+    def _availability_good_total(self) -> tuple[float, float]:
+        """Cumulative (succeeded, finished) request counts."""
+        with self._cond:
+            good = self._completed
+            total = self._completed + self._failed + self._timed_out
+        return float(good), float(total)
+
+    def _on_stall(self, entry) -> None:
+        """Watchdog trigger: one forced flight dump per stalled query."""
+        self.recorder.dump(
+            "stall",
+            extra={
+                "request_id": entry.request_id,
+                "algorithm": entry.algorithm,
+                "age_s": round(entry.age_s(time.monotonic()), 3),
+            },
+            force=True,
+        )
+
+    def _diag_loop(self) -> None:
+        """Background cadence for the watchdog and the SLO monitor."""
+        next_slo = time.monotonic() + self._slo_observe_interval_s
+        while not self._diag_stop.wait(self._diag_interval_s):
+            if self.watchdog is not None:
+                self.watchdog.scan()
+            now = time.monotonic()
+            if now >= next_slo:
+                self.slo.observe()
+                next_slo = now + self._slo_observe_interval_s
 
     # ------------------------------------------------------------------
     # Client surface
@@ -237,8 +412,15 @@ class QueryService:
         algorithm: str,
         queries: list[NetworkLocation],
         timeout_s: float | None = None,
+        trace_id: str | None = None,
     ) -> PendingQuery:
-        """Admit one request, or raise a typed rejection immediately."""
+        """Admit one request, or raise a typed rejection immediately.
+
+        ``trace_id`` (optional, client-supplied) overrides the root
+        span's generated id so the whole tree — and every event, slow
+        record and flight dump derived from it — correlates with the
+        caller's own trace.
+        """
         if algorithm not in self.algorithms:
             raise BadRequest(
                 f"unknown algorithm {algorithm!r}; "
@@ -261,6 +443,10 @@ class QueryService:
             request_id=request.request_id,
             query_count=len(queries),
         )
+        if trace_id:
+            # Children copy the parent's trace id at creation and none
+            # exist yet, so the override propagates to the whole tree.
+            request.span.trace_id = trace_id
         pending = PendingQuery(request)
         with self._cond:
             if self._closed:
@@ -271,6 +457,7 @@ class QueryService:
             self._queue.append(pending)
             self._submitted += 1
             self._cond.notify()
+        self.inflight.register(request.request_id, algorithm, request.span)
         return pending
 
     def query(
@@ -278,9 +465,12 @@ class QueryService:
         algorithm: str,
         queries: list[NetworkLocation],
         timeout_s: float | None = None,
+        trace_id: str | None = None,
     ) -> SkylineResult:
         """Submit and block for the answer (closed-loop clients)."""
-        pending = self.submit(algorithm, queries, timeout_s=timeout_s)
+        pending = self.submit(
+            algorithm, queries, timeout_s=timeout_s, trace_id=trace_id
+        )
         # The worker enforces the deadline; the extra margin here only
         # guards against a wedged service.
         wait = None
@@ -326,7 +516,12 @@ class QueryService:
             with self._cond:
                 while self._queue and len(batch) < self.max_batch:
                     batch.append(self._queue.popleft())
-            self._process(batch)
+                self._busy_workers += 1
+            try:
+                self._process(batch)
+            finally:
+                with self._cond:
+                    self._busy_workers -= 1
 
     def _process(self, batch: list[PendingQuery]) -> None:
         now = time.monotonic()
@@ -362,12 +557,16 @@ class QueryService:
                 self._batches += 1
                 self._batched_requests += plan.request_count
                 self._deduped += plan.request_count - len(plan.units)
+                batch_id = self._batches
             self._batch_size_hist.observe(float(plan.request_count))
             for request_id, outcome in outcomes.items():
-                self._finish(by_id[request_id], outcome)
+                self._finish(by_id[request_id], outcome, batch_id=batch_id)
 
-    def _finish(self, pending: PendingQuery, outcome) -> None:
+    def _finish(
+        self, pending: PendingQuery, outcome, batch_id: int | None = None
+    ) -> None:
         request = pending.request
+        self.inflight.deregister(request.request_id)
         with self._cond:
             if isinstance(outcome, DeadlineExceeded):
                 self._timed_out += 1
@@ -376,8 +575,8 @@ class QueryService:
             else:
                 self._completed += 1
         span = request.span
+        latency_s = time.monotonic() - request.enqueued_at
         if not isinstance(outcome, BaseException):
-            latency_s = time.monotonic() - request.enqueued_at
             self.latency.record(latency_s)
             self._latency_hist.observe(latency_s)
             if span is not None:
@@ -403,7 +602,83 @@ class QueryService:
                 else "ok"
             )
             self.tracer.finish(span)
+        self._emit_diagnostics(request, outcome, latency_s, batch_id)
         pending._fulfill(outcome)
+
+    def _emit_diagnostics(
+        self, request, outcome, latency_s: float, batch_id: int | None
+    ) -> None:
+        """Wide event + flight-recorder ring entry + dump triggers."""
+        span = request.span
+        if isinstance(outcome, DeadlineExceeded):
+            label = "timed_out"
+        elif isinstance(outcome, BaseException):
+            label = "failed"
+        else:
+            label = "completed"
+        if self.events is not None:
+            if isinstance(outcome, BaseException):
+                stats = None
+                counters = (
+                    {
+                        k: v
+                        for k, v in span.totals().items()
+                        if isinstance(v, (int, float))
+                    }
+                    if span is not None
+                    else {}
+                )
+                error = f"{type(outcome).__name__}: {outcome}"
+            else:
+                # The same QueryStats object the client response
+                # carries — event-vs-stats reconciliation is exact by
+                # construction, not by parallel bookkeeping.
+                stats = outcome.stats
+                counters = stats.counter_fields()
+                error = None
+            self.events.emit(
+                wide_event(
+                    request_id=request.request_id,
+                    algorithm=request.algorithm,
+                    outcome=label,
+                    trace_id=span.trace_id if span is not None else None,
+                    latency_s=latency_s,
+                    span_duration_s=(
+                        span.duration_s if span is not None else 0.0
+                    ),
+                    batch_id=batch_id,
+                    engine_backend=(
+                        stats.distance_backend if stats is not None else ""
+                    ),
+                    query_count=len(request.queries),
+                    query_nodes=[
+                        q.node_id if q.is_node else [q.edge_id, q.offset]
+                        for q in request.queries
+                    ],
+                    skyline_count=(
+                        stats.skyline_count if stats is not None else 0
+                    ),
+                    candidate_count=(
+                        stats.candidate_count if stats is not None else 0
+                    ),
+                    counters=counters,
+                    error=error,
+                )
+            )
+        if span is not None:
+            self.recorder.record(span, outcome=label, latency_s=latency_s)
+        if label == "failed":
+            self.recorder.dump(
+                "error", extra={"request_id": request.request_id}
+            )
+        elif label == "completed" and latency_s >= self.slow_threshold_s:
+            self.recorder.dump(
+                "slow_query",
+                extra={
+                    "request_id": request.request_id,
+                    "latency_s": round(latency_s, 6),
+                },
+            )
 
     def _acquire_keys(self, keys: frozenset) -> None:
         with self._cond:
@@ -449,6 +724,10 @@ class QueryService:
             self._queue.clear()
         for pending in leftovers:
             self._finish(pending, ServiceClosed("service is shut down"))
+        self._diag_stop.set()
+        self._diag_thread.join(timeout=timeout_s)
+        if self.events is not None:
+            self.events.close(timeout=timeout_s)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -513,4 +792,76 @@ class QueryService:
             },
             "workspace_version": ws.version,
             "algorithms": sorted(self.algorithms),
+            "inflight": self.inflight.count(),
+            "stalls": self.watchdog.stall_count if self.watchdog else 0,
+            "events": (
+                self.events.stats() if self.events is not None else None
+            ),
+            "flight_recorder": self.recorder.stats(),
         }
+
+    def health_dict(self) -> dict:
+        """The enriched ``/healthz`` payload: one readiness signal for
+        load balancers and the watchdog alike."""
+        with self._cond:
+            depth = len(self._queue)
+            busy = self._busy_workers
+            closed = self._closed
+        workers = len(self._threads)
+        return {
+            "status": "closed" if closed else "ok",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "inflight": self.inflight.count(),
+            "stalled": self.inflight.stalled_count(),
+            "queue": {"depth": depth, "limit": self.queue_limit},
+            "workers": {
+                "total": workers,
+                "busy": busy,
+                "saturation": round(busy / workers, 3) if workers else 0.0,
+            },
+        }
+
+    def debug_dict(self) -> dict:
+        """The ``/debugz`` payload: live in-flight span trees plus
+        queue/pool/diagnostics state, serialised race-tolerantly."""
+        with self._cond:
+            queue_block = {
+                "depth": len(self._queue),
+                "limit": self.queue_limit,
+                "active_keys": sorted(
+                    str(key) for key in self._active_keys
+                ),
+                "paused": self._paused,
+            }
+            busy = self._busy_workers
+        active = {
+            str(ident): {
+                "name": node.name,
+                "trace_id": node.trace_id,
+                "path": list(node.path()),
+            }
+            for ident, node in tracing.active_spans().items()
+        }
+        return {
+            "inflight": self.inflight.snapshot(with_span=True),
+            "queue": queue_block,
+            "workers": {"total": len(self._threads), "busy": busy},
+            "active_by_thread": active,
+            "flight_recorder": self.recorder.stats(),
+            "events": (
+                self.events.stats() if self.events is not None else None
+            ),
+            "watchdog": (
+                {
+                    "deadline_s": self.watchdog.deadline_s,
+                    "stalls": self.watchdog.stall_count,
+                }
+                if self.watchdog is not None
+                else None
+            ),
+        }
+
+    def slo_report(self) -> dict:
+        """The ``/sloz`` payload: every objective's burn-rate verdict."""
+        return self.slo.report()

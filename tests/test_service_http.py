@@ -44,25 +44,32 @@ def get(server, path):
         return exc.code, json.loads(exc.read())
 
 
-def post(server, path, body):
+def post(server, path, body, headers=None):
     request = urllib.request.Request(
         server.url + path,
         data=json.dumps(body).encode(),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
         method="POST",
     )
     try:
         with urllib.request.urlopen(request, timeout=60) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), response.headers
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), exc.headers
 
 
 class TestRoutes:
-    def test_healthz(self, server):
+    def test_healthz_reports_readiness(self, server):
         status, payload = get(server, "/healthz")
         assert status == 200
-        assert payload == {"status": "ok"}
+        assert payload["status"] == "ok"
+        assert payload["version"]
+        assert payload["uptime_s"] >= 0.0
+        assert payload["inflight"] == 0
+        assert payload["queue"].keys() == {"depth", "limit"}
+        assert payload["workers"].keys() == {"total", "busy", "saturation"}
+        assert payload["workers"]["total"] == 2
+        assert 0.0 <= payload["workers"]["saturation"] <= 1.0
 
     def test_statsz_has_the_advertised_shape(self, server):
         status, payload = get(server, "/statsz")
@@ -78,7 +85,7 @@ class TestRoutes:
 
     def test_query_matches_direct_run(self, server):
         workspace = server.service.workspace
-        status, payload = post(
+        status, payload, _ = post(
             server,
             "/query",
             {"algorithm": "LBC", "query_nodes": [3, 40, 77]},
@@ -96,7 +103,7 @@ class TestRoutes:
 
     def test_on_edge_query_points_accepted(self, server):
         edge_id = sorted(server.service.workspace.network.edge_ids())[0]
-        status, payload = post(
+        status, payload, _ = post(
             server,
             "/query",
             {"query_points": [{"edge": edge_id, "offset": 0.0}, {"node": 5}]},
@@ -115,7 +122,7 @@ class TestRoutes:
         ],
     )
     def test_bad_queries_are_400(self, server, body):
-        status, payload = post(server, "/query", body)
+        status, payload, _ = post(server, "/query", body)
         assert status == 400
         assert "error" in payload
 
@@ -133,7 +140,7 @@ class TestRoutes:
         version_before = workspace.version
         edge_id = sorted(network.edge_ids())[3]
         new_length = network.edge(edge_id).length * 5.0
-        status, payload = post(
+        status, payload, _ = post(
             server,
             "/mutate",
             {"op": "update_edge", "edge_id": edge_id, "length": new_length},
@@ -142,7 +149,7 @@ class TestRoutes:
         assert payload["workspace_version"] == version_before + 1
         assert network.edge(edge_id).length == pytest.approx(new_length)
         # Fresh query answers match a direct run on the mutated state.
-        status, payload = post(
+        status, payload, _ = post(
             server, "/query", {"query_nodes": [3, 40, 77]}
         )
         assert status == 200
@@ -155,7 +162,7 @@ class TestRoutes:
     def test_mutate_add_and_remove_object(self, server):
         workspace = server.service.workspace
         count_before = len(workspace.objects)
-        status, _ = post(
+        status, _, _ = post(
             server,
             "/mutate",
             {
@@ -167,16 +174,90 @@ class TestRoutes:
         )
         assert status == 200
         assert len(workspace.objects) == count_before + 1
-        status, _ = post(
+        status, _, _ = post(
             server, "/mutate", {"op": "remove_object", "object_id": 999_001}
         )
         assert status == 200
         assert len(workspace.objects) == count_before
 
     def test_mutate_unknown_op_is_400(self, server):
-        status, payload = post(server, "/mutate", {"op": "defragment"})
+        status, payload, _ = post(server, "/mutate", {"op": "defragment"})
         assert status == 400
         assert "unknown op" in payload["error"]
 
+    def test_sloz_reports_objectives(self, server):
+        status, payload = get(server, "/sloz")
+        assert status == 200
+        names = {o["name"] for o in payload["objectives"]}
+        assert names == {"latency", "availability"}
+        for objective in payload["objectives"]:
+            assert 0.0 < objective["target"] < 1.0
+            assert objective["windows"]
+            for window in objective["windows"]:
+                assert window.keys() >= {
+                    "long_s", "short_s", "max_burn",
+                    "long_burn", "short_burn", "violating",
+                }
+        # The fixture's traffic is healthy; nothing should be burning.
+        assert payload["violating"] is False
+
+    def test_debugz_shows_live_state(self, server):
+        status, payload = get(server, "/debugz")
+        assert status == 200
+        assert payload.keys() >= {
+            "inflight", "queue", "workers", "active_by_thread",
+            "flight_recorder", "events", "watchdog",
+        }
+        assert payload["queue"]["limit"] == server.service.queue_limit
+        assert payload["workers"]["total"] == 2
+        assert payload["flight_recorder"]["ring_capacity"] >= 1
+
+
+class TestTraceIdPropagation:
+    def test_trace_id_honored_and_echoed(self, server):
+        status, payload, headers = post(
+            server,
+            "/query",
+            {"algorithm": "LBC", "query_nodes": [3, 40]},
+            headers={"X-Repro-Trace-Id": "client-trace-0042"},
+        )
+        assert status == 200
+        assert payload["trace_id"] == "client-trace-0042"
+        assert headers["X-Repro-Trace-Id"] == "client-trace-0042"
+        # The retained trace tree carries the client's id end to end.
+        trace_ids = {
+            root.trace_id for root in server.service.tracer.traces()
+        }
+        assert "client-trace-0042" in trace_ids
+
+    def test_trace_id_echoed_on_errors_too(self, server):
+        status, payload, headers = post(
+            server,
+            "/query",
+            {"algorithm": "nope", "query_nodes": [3]},
+            headers={"X-Repro-Trace-Id": "client-trace-err"},
+        )
+        assert status == 400
+        assert headers["X-Repro-Trace-Id"] == "client-trace-err"
+
+    def test_invalid_trace_id_is_400(self, server):
+        status, payload, _ = post(
+            server,
+            "/query",
+            {"algorithm": "LBC", "query_nodes": [3]},
+            headers={"X-Repro-Trace-Id": "bad id with spaces!"},
+        )
+        assert status == 400
+        assert "X-Repro-Trace-Id" in payload["error"]
+
+    def test_generated_trace_id_returned_without_header(self, server):
+        status, payload, _ = post(
+            server, "/query", {"algorithm": "LBC", "query_nodes": [3, 40]}
+        )
+        assert status == 200
+        assert payload["trace_id"]
+
+
+class TestNo500s:
     def test_no_500s_were_served(self, server):
         assert server.error_responses == 0
