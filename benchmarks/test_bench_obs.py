@@ -237,6 +237,80 @@ class TestDiagnosticsOverhead:
         assert log.dropped == 0
 
 
+class TestInsightOverhead:
+    def test_live_digests_under_five_percent(self, workloads, tmp_path):
+        """The live insight hub (one ``observe`` per finished query —
+        a cohort lookup plus three sketch inserts under one lock) must
+        stay within 5 % of the diagnostics plane it rides on."""
+        from repro.insight import InsightHub
+        from repro.obs import EventLog, FlightRecorder, wide_event
+
+        network = workloads.network("NA")
+        source = workloads.queries("NA", 1, seed=3)[0]
+        log = EventLog(str(tmp_path / "bench-events.jsonl"))
+        recorder = FlightRecorder(ring=64)
+        hub = InsightHub()
+
+        def traced():
+            with tracing.span("bench.expansion") as root:
+                expander = DijkstraExpander(network, source)
+                while expander.expand_next() is not None:
+                    pass
+            return root
+
+        def diagnosed():
+            root = traced()
+            counters = {
+                k: v for k, v in root.totals().items()
+                if isinstance(v, (int, float))
+            }
+            log.emit(
+                wide_event(
+                    request_id=0,
+                    algorithm="bench",
+                    outcome="completed",
+                    trace_id=root.trace_id,
+                    latency_s=root.duration_s,
+                    span_duration_s=root.duration_s,
+                    counters=counters,
+                )
+            )
+            recorder.record(root, latency_s=root.duration_s)
+            return root, counters
+
+        def insighted():
+            root, counters = diagnosed()
+            hub.observe(
+                algorithm="bench",
+                backend="dijkstra",
+                query_count=1,
+                outcome="completed",
+                latency_s=root.duration_s,
+                counters=counters,
+            )
+
+        diagnosed(), insighted()  # warm caches and code paths
+        rounds = 7
+        base = float("inf")
+        instrumented = float("inf")
+        for _ in range(rounds):
+            base = min(base, _min_of(diagnosed, 1))
+            instrumented = min(instrumented, _min_of(insighted, 1))
+        log.close()
+        overhead = (instrumented - base) / base
+        assert overhead < 0.05, (
+            f"insight overhead {overhead:.1%} "
+            f"(diagnostics-only {base * 1e3:.2f}ms, "
+            f"+insight {instrumented * 1e3:.2f}ms)"
+        )
+        # The hub really digested the measured traffic, boundedly.
+        assert hub.observed >= rounds + 1
+        report = hub.report()
+        cohort = report["cohorts"]["bench/dijkstra/|Q|[1,2)/completed"]
+        assert cohort["latency_s"]["p99"] > 0.0
+        assert not cohort["collapsed"]
+
+
 class TestScrapeCost:
     def test_metricsz_render(self, benchmark):
         """Render a serving registry after real traffic."""

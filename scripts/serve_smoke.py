@@ -11,11 +11,16 @@ mutations), then shuts it down with SIGTERM.  Fails loudly if:
   metric family, or lacks the serving-path families,
 * no JSON traces are exported on shutdown (the server runs with
   ``--trace-dir``),
+* ``/insightz`` shows no observed queries, or ``repro insight
+  summarize`` cannot digest the wide-event log the server wrote,
 * the server does not exit cleanly on SIGTERM.
 
-The ``/metricsz`` scrape, the ``/slowlogz`` payload and the exported
-traces are written to ``$SMOKE_ARTIFACT_DIR`` (when set) so CI can
-upload them as a workflow artifact.
+The ``/metricsz`` scrape, the ``/slowlogz`` payload, the ``/insightz``
+payload, the wide-event log, the ``repro insight summarize`` report
+and the exported traces are written to ``$SMOKE_ARTIFACT_DIR`` (when
+set) so CI can upload them as a workflow artifact — the insight report
+is what the follow-up CI step diffs against
+``benchmarks/insight_baseline.json``.
 
 Run from the repository root::
 
@@ -162,13 +167,14 @@ def main() -> int:
         )
         os.makedirs(artifact_dir, exist_ok=True)
         trace_dir = os.path.join(artifact_dir, "traces")
+        event_log = os.path.join(artifact_dir, "events.jsonl")
         net_path, obj_path = generate_dataset(tmpdir)
         nodes = node_ids_from(net_path)
         process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.cli", "serve",
                 net_path, obj_path, "--port", "0", "--workers", "4",
-                "--trace-dir", trace_dir,
+                "--trace-dir", trace_dir, "--event-log", event_log,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -249,6 +255,19 @@ def main() -> int:
             with open(os.path.join(artifact_dir, "slowlogz.json"), "w") as h:
                 json.dump(slowlog, h, indent=1)
             print(f"smoke: slowlogz ok — slow_count={slowlog['slow_count']}")
+
+            with urllib.request.urlopen(url + "/insightz", timeout=30) as r:
+                insight = json.loads(r.read())
+            with open(os.path.join(artifact_dir, "insightz.json"), "w") as h:
+                json.dump(insight, h, indent=1)
+            if insight.get("schema") != "repro-insight-live":
+                raise SystemExit(f"/insightz schema {insight.get('schema')!r}")
+            if insight.get("observed", 0) <= 0 or not insight.get("cohorts"):
+                raise SystemExit(f"/insightz saw no queries: {insight}")
+            print(
+                f"smoke: insightz ok — observed={insight['observed']} "
+                f"over {len(insight['cohorts'])} cohort(s)"
+            )
         finally:
             if process.poll() is None:
                 process.send_signal(signal.SIGTERM)
@@ -276,6 +295,37 @@ def main() -> int:
             if key not in root:
                 raise SystemExit(f"trace {traces[0]} missing {key!r}")
         print(f"smoke: {len(traces)} traces exported, clean shutdown")
+
+        # Offline leg: the wide-event log the server just flushed must
+        # digest cleanly into the report CI diffs against the committed
+        # insight baseline.
+        if not os.path.exists(event_log):
+            raise SystemExit(f"no wide-event log at {event_log}")
+        report_path = os.path.join(artifact_dir, "insight_report.json")
+        summarize = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "insight", "summarize",
+                event_log, "--out", report_path,
+            ],
+            env=env_with_src(),
+        )
+        if summarize.returncode != 0:
+            raise SystemExit(
+                f"insight summarize failed (rc={summarize.returncode})"
+            )
+        with open(report_path) as handle:
+            report = json.load(handle)
+        if report.get("events", 0) <= 0 or not report.get("cohorts"):
+            raise SystemExit(f"insight report digested nothing: {report_path}")
+        if report.get("corrupt_lines", 0):
+            raise SystemExit(
+                f"event log had {report['corrupt_lines']} corrupt line(s) "
+                "after a clean shutdown"
+            )
+        print(
+            f"smoke: insight report ok — {report['events']} events, "
+            f"{len(report['cohorts'])} cohort(s) -> {report_path}"
+        )
     return 0
 
 

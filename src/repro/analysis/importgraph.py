@@ -30,6 +30,8 @@ ROOT = "repro"
 LAYERS: dict[str, int] = {
     "obs": 0,
     "concurrency": 0,
+    "insight": 1,  # telemetry analysis over obs exhaust; service and
+    # bench both import it, so it sits just above the foundation
     "profiling": 1,  # samples via obs only; never imports sampled code
     "geometry": 1,
     "columnar": 2,  # array-backed data plane: stdlib + obs only

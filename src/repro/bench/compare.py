@@ -26,6 +26,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+# The growth arithmetic is shared with `repro insight compare`
+# (repro.insight.gate): both gates must answer "did this number get
+# worse?" identically, so it lives once, in the lower-ranked package.
+from repro.insight.gate import relative_increase as _relative_increase
+
 #: Default relative slack on deterministic counters: none.
 DEFAULT_COUNTER_TOLERANCE = 0.0
 #: Default relative slack on advisory p50 timings: 50 %.
@@ -68,13 +73,6 @@ def load_artifact(path: str) -> dict:
 
 def _by_id(artifact: dict) -> dict[str, dict]:
     return {record["id"]: record for record in artifact.get("benchmarks", [])}
-
-
-def _relative_increase(base: float, current: float) -> float:
-    """Relative growth current vs base; ``inf`` when base is zero."""
-    if base == 0:
-        return float("inf") if current > 0 else 0.0
-    return (current - base) / base
 
 
 def compare_artifacts(

@@ -26,6 +26,9 @@ Installed as the ``repro`` console script (also runnable as
 * ``bench``      — run the versioned benchmark suite, emit/compare
   ``BENCH_<rev>.json`` artifacts (:mod:`repro.bench`; also
   ``python -m repro.bench``);
+* ``insight``    — cohort digests, regression detection and slow-event
+  listings over wide-event logs and bench artifacts
+  (:mod:`repro.insight`; also ``python -m repro.insight``);
 * ``profile``    — sampling profiler over a preset workload, with
   per-span self time and collapsed-stack flamegraph export;
 * ``heatmap``    — page-access heatmaps per buffer pool (adjacency
@@ -251,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,  # --help flows through to the bench parser
     )
     bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    insight = sub.add_parser(
+        "insight",
+        help="summarize/compare/top over event logs and bench artifacts",
+        add_help=False,  # --help flows through to the insight parser
+    )
+    insight.add_argument("rest", nargs=argparse.REMAINDER)
 
     profile = sub.add_parser(
         "profile",
@@ -785,6 +795,12 @@ def _cmd_bench(args) -> int:
     return bench_main(args.rest)
 
 
+def _cmd_insight(args) -> int:
+    from repro.insight.cli import main as insight_main
+
+    return insight_main(args.rest)
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -813,6 +829,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "insight":
+        from repro.insight.cli import main as insight_main
+
+        return insight_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -825,6 +845,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
+        "insight": _cmd_insight,
         "profile": _cmd_profile,
         "heatmap": _cmd_heatmap,
         "lint": _cmd_lint,

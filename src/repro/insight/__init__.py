@@ -1,0 +1,82 @@
+"""Telemetry insight plane: the layer that reads the exhaust back.
+
+PRs 3, 5 and 8 gave the stack a full telemetry exhaust — spans,
+counters, wide events, flight records, BENCH artifacts.  This package
+turns that exhaust into answers, in two halves:
+
+* **offline** (:mod:`repro.insight.analyze`) — cohort digests,
+  two-source diffs with per-counter attribution, noise-aware
+  regression gates and top-k slow exemplars over wide-event JSONL
+  logs and bench artifacts, exposed as
+  ``repro insight summarize|compare|top``;
+* **live** (:mod:`repro.insight.live`) — rolling per-cohort quantile
+  digests (:mod:`repro.insight.sketch`) inside the serving hot path,
+  served at ``GET /insightz`` and bridged into ``/metricsz``.
+
+Both halves share one cohort vocabulary (:mod:`repro.insight.cohort`)
+and one gate arithmetic (:mod:`repro.insight.gate`, also used by
+``repro bench --compare``), and the package sits low in the layer DAG
+(stdlib + ``obs`` only) so both ``service`` and ``bench`` may import
+it.
+"""
+
+from repro.insight.analyze import (
+    CohortDigest,
+    InsightDiff,
+    InsightSummary,
+    compare_summaries,
+    load_summary,
+    summarize_bench_artifact,
+    summarize_events,
+    top_events,
+)
+from repro.insight.cohort import (
+    Q_BUCKET_BOUNDS,
+    cohort_key,
+    cohort_of_event,
+    q_bucket_label,
+    split_cohort,
+)
+from repro.insight.gate import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    format_growth,
+    is_regression,
+    relative_increase,
+)
+from repro.insight.live import TRACKED_COUNTERS, InsightHub
+from repro.insight.sketch import (
+    DEFAULT_ALPHA,
+    DIGEST_QUANTILES,
+    QuantileSketch,
+    exact_quantile,
+)
+
+__all__ = [
+    "CohortDigest",
+    "InsightDiff",
+    "InsightSummary",
+    "compare_summaries",
+    "load_summary",
+    "summarize_bench_artifact",
+    "summarize_events",
+    "top_events",
+    "Q_BUCKET_BOUNDS",
+    "cohort_key",
+    "cohort_of_event",
+    "q_bucket_label",
+    "split_cohort",
+    "EXIT_ERROR",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "format_growth",
+    "is_regression",
+    "relative_increase",
+    "TRACKED_COUNTERS",
+    "InsightHub",
+    "DEFAULT_ALPHA",
+    "DIGEST_QUANTILES",
+    "QuantileSketch",
+    "exact_quantile",
+]

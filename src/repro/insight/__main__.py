@@ -1,0 +1,6 @@
+"""``python -m repro.insight`` — same entry as ``repro insight``."""
+
+from repro.insight.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Cohort keying: the shared vocabulary of the insight plane.
+
+A *cohort* is the unit every insight answer is phrased in:
+``algorithm × engine backend × |Q| bucket × outcome``.  Per-query
+numbers are too noisy to compare and whole-log aggregates hide
+mixture shifts (EDC got slower but more small-|Q| CE traffic arrived,
+so the global p50 improved); cohorts are the altitude where "did EDC
+get slower for large |Q| after the oracle landed?" has a well-defined
+answer.
+
+This module is the *single* place a cohort key is minted.  The live
+hub (:mod:`repro.insight.live`) keys its rolling digests with
+:func:`cohort_key` from the service's own request fields, and the
+offline analyzer (:mod:`repro.insight.analyze`) keys with
+:func:`cohort_of_event` from a wide event's fields — both funnel into
+the same string, which is what lets the acceptance test hold live
+``/insightz`` digests against offline whole-log aggregation.
+
+|Q| buckets are powers of two (``[1,2) [2,4) [4,8) [8,16) [16,∞)``):
+the paper's |Q| sweeps show cost growth bending at power-of-two-ish
+scales, and a handful of buckets keeps live label cardinality bounded
+(algorithms × backends × 5 buckets × 3 outcomes).
+"""
+
+from __future__ import annotations
+
+Q_BUCKET_BOUNDS = (1, 2, 4, 8, 16)
+"""Lower bounds of the |Q| buckets; the last is open-ended."""
+
+COHORT_SEPARATOR = "/"
+
+
+def q_bucket_label(query_count: int) -> str:
+    """The |Q| bucket a query-point count falls into, as its label.
+
+    >>> q_bucket_label(1), q_bucket_label(5), q_bucket_label(40)
+    ('|Q|[1,2)', '|Q|[4,8)', '|Q|[16,inf)')
+    """
+    count = max(int(query_count), Q_BUCKET_BOUNDS[0])
+    for low, high in zip(Q_BUCKET_BOUNDS, Q_BUCKET_BOUNDS[1:]):
+        if low <= count < high:
+            return f"|Q|[{low},{high})"
+    return f"|Q|[{Q_BUCKET_BOUNDS[-1]},inf)"
+
+
+def cohort_key(
+    algorithm: str, backend: str, query_count: int, outcome: str
+) -> str:
+    """The canonical cohort key string.
+
+    ``backend`` may be empty (failed queries never resolve one); it is
+    normalised to ``"-"`` so keys stay greppable and split cleanly.
+    """
+    return COHORT_SEPARATOR.join(
+        (
+            str(algorithm) or "-",
+            str(backend) or "-",
+            q_bucket_label(query_count),
+            str(outcome) or "-",
+        )
+    )
+
+
+def cohort_of_event(event: dict) -> str:
+    """The cohort key of one wide event (see :mod:`repro.obs.events`)."""
+    return cohort_key(
+        event.get("algorithm", "-"),
+        event.get("engine_backend", ""),
+        int(event.get("query_count", 0) or 0),
+        event.get("outcome", "-"),
+    )
+
+
+def split_cohort(key: str) -> dict[str, str]:
+    """Break a cohort key back into its named parts (reporting only)."""
+    parts = key.split(COHORT_SEPARATOR)
+    if len(parts) != 4:
+        return {"algorithm": key, "backend": "-", "q": "-", "outcome": "-"}
+    return {
+        "algorithm": parts[0],
+        "backend": parts[1],
+        "q": parts[2],
+        "outcome": parts[3],
+    }

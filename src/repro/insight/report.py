@@ -1,0 +1,82 @@
+"""Text reporters for the insight CLI (JSON is just ``to_dict``)."""
+
+from __future__ import annotations
+
+from repro.insight.analyze import InsightDiff, InsightSummary
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def format_summary(summary: InsightSummary) -> str:
+    """Human-readable cohort table with digests and slow exemplars."""
+    lines = [
+        f"insight summary: {summary.source or '<events>'} "
+        f"({summary.kind}, {summary.events} events, "
+        f"{len(summary.cohorts)} cohorts)"
+    ]
+    if summary.corrupt_lines:
+        lines.append(
+            f"  ! skipped {summary.corrupt_lines} corrupt/partial "
+            f"line(s) while reading the log"
+        )
+    for key, digest in sorted(summary.cohorts.items()):
+        latency = digest.latency_s
+        lines.append(
+            f"  {key}  n={digest.count}  "
+            f"p50={_fmt_ms(latency.get('p50', 0.0))}  "
+            f"p99={_fmt_ms(latency.get('p99', 0.0))}  "
+            f"max={_fmt_ms(latency.get('max', 0.0))}"
+        )
+        for name, stats in sorted(digest.counters.items()):
+            mean = stats.get("mean", 0.0)
+            if mean:
+                lines.append(
+                    f"      {name}: mean={mean:.1f} max={stats.get('max', 0.0):g}"
+                )
+        for exemplar in digest.slowest:
+            lines.append(
+                f"      slow: {_fmt_ms(exemplar.get('latency_s', 0.0))} "
+                f"trace={exemplar.get('trace_id')} "
+                f"request={exemplar.get('request_id')}"
+            )
+    return "\n".join(lines)
+
+
+def format_diff(diff: InsightDiff) -> str:
+    """Human-readable verdict, failures first — mirrors bench compare."""
+    lines = [
+        f"insight compare: {diff.baseline_source or '<baseline>'} vs "
+        f"{diff.current_source or '<current>'}"
+    ]
+    for failure in diff.failures:
+        lines.append(f"  REGRESSION {failure}")
+    for warning in diff.warnings:
+        lines.append(f"  warning    {warning}")
+    for note in diff.notes:
+        lines.append(f"  note       {note}")
+    lines.append(
+        "verdict: "
+        + (
+            "OK — no deterministic regressions"
+            if diff.ok
+            else f"REGRESSED — {len(diff.failures)} failure(s)"
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_top(events: list[dict]) -> str:
+    """Slowest-events listing with trace ids for follow-up."""
+    if not events:
+        return "no matching query events"
+    lines = [f"top {len(events)} slowest events:"]
+    for rank, event in enumerate(events, start=1):
+        lines.append(
+            f"  {rank:2d}. {_fmt_ms(float(event.get('latency_s', 0.0)))}  "
+            f"{event.get('cohort', '?')}  "
+            f"request={event.get('request_id')} "
+            f"trace={event.get('trace_id')}"
+        )
+    return "\n".join(lines)

@@ -38,6 +38,7 @@ engine, core and service all call *into* it and never the reverse.
 
 from repro.obs.events import (
     EventLog,
+    EventReader,
     iter_events,
     read_events,
     wide_event,
@@ -96,6 +97,7 @@ __all__ = [
     "METRIC_FAMILIES",
     "BurnWindow",
     "EventLog",
+    "EventReader",
     "FlightRecorder",
     "InFlightTable",
     "MetricFamily",

@@ -290,25 +290,86 @@ class EventLog:
         with self._state:
             return self._rotations
 
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
 
-def iter_events(path: str, include_rotated: bool = True) -> Iterator[dict]:
-    """Parsed events, oldest first, optionally across rotated files."""
-    paths: list[str] = []
-    if include_rotated:
-        generation = 1
-        rotated: list[str] = []
-        while os.path.exists(f"{path}.{generation}"):
-            rotated.append(f"{path}.{generation}")
-            generation += 1
-        paths.extend(reversed(rotated))
-    if os.path.exists(path):
-        paths.append(path)
-    for file_path in paths:
-        with open(file_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
+
+class EventReader:
+    """Iterator over a wide-event log, oldest first, crash-tolerant.
+
+    Two realities of reading a log that something else is writing:
+
+    * **Partial records.**  A crash mid-``write`` (or reading the live
+      file while the writer is between ``write`` and ``flush``) leaves
+      a truncated final line; any line may also be corrupt on a bad
+      disk.  Aborting the whole analysis over one bad line would make
+      the log least readable exactly when it matters most, so corrupt
+      and partial lines are *skipped and counted* —
+      :attr:`corrupt_lines` reports how many, and callers surface it.
+    * **Rotation races.**  Between listing generations and opening one,
+      the writer may rotate it away (``path.2`` renamed to ``path.3``);
+      a vanished generation is skipped rather than raised.
+
+    Generations are ordered oldest first: ``path.N … path.1, path``.
+    """
+
+    def __init__(self, path: str, include_rotated: bool = True) -> None:
+        self.path = path
+        self.include_rotated = include_rotated
+        self.corrupt_lines = 0
+        self.files_read = 0
+        self._iterator = self._iterate()
+
+    def __iter__(self) -> "EventReader":
+        return self
+
+    def __next__(self) -> dict:
+        return next(self._iterator)
+
+    def _paths(self) -> list[str]:
+        paths: list[str] = []
+        if self.include_rotated:
+            generation = 1
+            rotated: list[str] = []
+            while os.path.exists(f"{self.path}.{generation}"):
+                rotated.append(f"{self.path}.{generation}")
+                generation += 1
+            paths.extend(reversed(rotated))
+        if os.path.exists(self.path):
+            paths.append(self.path)
+        return paths
+
+    def _iterate(self) -> Iterator[dict]:
+        for file_path in self._paths():
+            try:
+                handle = open(file_path, encoding="utf-8")
+            except FileNotFoundError:
+                continue  # rotated away since _paths() listed it
+            with handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        self.corrupt_lines += 1
+                        continue
+                    if not isinstance(event, dict):
+                        self.corrupt_lines += 1
+                        continue
+                    yield event
+            self.files_read += 1
+
+
+def iter_events(path: str, include_rotated: bool = True) -> EventReader:
+    """Parsed events, oldest first, optionally across rotated files.
+
+    Returns an :class:`EventReader`; after (or during) iteration its
+    ``corrupt_lines`` attribute counts skipped partial/corrupt lines.
+    """
+    return EventReader(path, include_rotated=include_rotated)
 
 
 def read_events(path: str, include_rotated: bool = True) -> list[dict]:

@@ -419,21 +419,57 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
     return families
 
 
+def _parse_labels(label_part: str, lineno: int) -> dict[str, str]:
+    """Quote-aware label parsing: values may contain commas, escaped
+    quotes and backslashes (``cohort="LBC/dijkstra/|Q|[2,4)/ok"``), so
+    splitting the block on ``,`` is wrong — scan instead."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(label_part):
+        if label_part[pos] == ",":
+            pos += 1
+            continue
+        eq = label_part.find("=", pos)
+        if eq < 0:
+            raise ValueError(
+                f"line {lineno}: malformed label {label_part[pos:]!r}"
+            )
+        key = label_part[pos:eq].strip()
+        if eq + 1 >= len(label_part) or label_part[eq + 1] != '"':
+            raise ValueError(
+                f"line {lineno}: unquoted label value "
+                f"{label_part[eq + 1:]!r}"
+            )
+        value_chars: list[str] = []
+        pos = eq + 2
+        while pos < len(label_part) and label_part[pos] != '"':
+            if label_part[pos] == "\\" and pos + 1 < len(label_part):
+                escaped = label_part[pos + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(
+                        escaped, "\\" + escaped
+                    )
+                )
+                pos += 2
+            else:
+                value_chars.append(label_part[pos])
+                pos += 1
+        if pos >= len(label_part):
+            raise ValueError(
+                f"line {lineno}: unterminated label value for {key!r}"
+            )
+        pos += 1  # closing quote
+        labels[key] = "".join(value_chars)
+    return labels
+
+
 def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], float]:
     rest = line
     labels: dict[str, str] = {}
     if "{" in line:
         name, rest = line.split("{", 1)
-        label_part, rest = rest.split("}", 1)
-        for item in label_part.split(","):
-            if not item:
-                continue
-            if "=" not in item:
-                raise ValueError(f"line {lineno}: malformed label {item!r}")
-            key, raw = item.split("=", 1)
-            if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
-                raise ValueError(f"line {lineno}: unquoted label value {raw!r}")
-            labels[key.strip()] = raw[1:-1]
+        label_part, rest = rest.rsplit("}", 1)
+        labels = _parse_labels(label_part, lineno)
     else:
         name, rest = line.split(None, 1)
         rest = " " + rest

@@ -67,6 +67,9 @@ SPAN_NAMES = frozenset(
         # Distance-oracle preprocessing and verification (repro.oracle)
         "oracle.build",
         "oracle.verify",
+        # Insight-plane offline analysis (repro.insight.analyze)
+        "insight.summarize",
+        "insight.compare",
     }
 )
 """Exact span names a trace tree may contain."""
@@ -145,6 +148,13 @@ METRIC_FAMILIES = frozenset(
         "repro_service_stalls_total",
         "repro_service_flight_dumps_total",
         "repro_slo_burn_rate",
+        # Event-log health (repro.service.service over repro.obs.events):
+        # the wide-event writer's bounded queue, scraped at collect time.
+        "repro_event_log_queue_depth",
+        # Insight plane (repro.service.service over repro.insight.live):
+        # per-cohort rolling latency quantiles and observation counts.
+        "repro_insight_latency_seconds",
+        "repro_insight_queries_total",
     }
 )
 """Every Prometheus metric family ``/metricsz`` may expose."""

@@ -24,6 +24,9 @@ one handler.  Routes:
   verdict (see :mod:`repro.obs.slo`).
 * ``GET /debugz``  — live in-flight span trees, per-thread active
   spans, queue/worker state and diagnostics-plane accounting.
+* ``GET /insightz`` — rolling per-cohort latency/settled/page-miss
+  digests from the insight hub (:mod:`repro.insight.live`); the live
+  counterpart of ``repro insight summarize`` over the event log.
 
 Trace correlation: a client may send ``X-Repro-Trace-Id`` on
 ``POST /query``; the id is stamped onto the request's root span (and
@@ -234,6 +237,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.server.service.slo_report())
             elif self.path == "/debugz":
                 self._send_json(200, self.server.service.debug_dict())
+            elif self.path == "/insightz":
+                self._send_json(200, self.server.service.insight_report())
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
         except Exception as exc:

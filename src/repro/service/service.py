@@ -59,6 +59,7 @@ from repro.obs import (
     wide_event,
 )
 from repro.obs import tracing
+from repro.insight import DIGEST_QUANTILES, InsightHub
 from repro.service.batching import BatchPlanner, ServiceRequest, execute_plan
 from repro.service.errors import (
     BadRequest,
@@ -145,6 +146,7 @@ class QueryService:
         slo_latency_threshold_s: float = DEFAULT_SLO_LATENCY_THRESHOLD_S,
         slo_availability_target: float = DEFAULT_SLO_AVAILABILITY_TARGET,
         slo_observe_interval_s: float = DEFAULT_SLO_OBSERVE_INTERVAL_S,
+        insight_enabled: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -207,6 +209,14 @@ class QueryService:
         self.slow_threshold_s = slow_threshold_s
         self.slo = SLOMonitor(windows=slo_windows)
         self._slo_latency_threshold_s = slo_latency_threshold_s
+
+        # Insight plane: rolling per-cohort latency/settled/page-miss
+        # digests, served at /insightz and bridged into /metricsz.
+        self.insight = (
+            InsightHub(on_new_cohort=self._bridge_insight_cohort)
+            if insight_enabled
+            else None
+        )
 
         # The service shares the workspace's registry so one /metricsz
         # scrape covers the whole stack: service -> engine -> buffers.
@@ -351,6 +361,27 @@ class QueryService:
                 ("rotated", lambda: float(self.events.rotations)),
             ):
                 events.attach_callback(reader, event=label)
+            registry.register_callback(
+                "repro_event_log_queue_depth",
+                lambda: float(self.events.queue_depth),
+                kind="gauge",
+                help_text="Wide events enqueued but not yet written "
+                "(the writer's bounded queue; sustained depth precedes "
+                "drops).",
+            )
+        if self.insight is not None:
+            self._insight_latency_family = registry.gauge(
+                "repro_insight_latency_seconds",
+                "Rolling per-cohort latency quantiles from the insight "
+                "hub's mergeable sketches (relative error alpha; see "
+                "/insightz).",
+                labels=("cohort", "quantile"),
+            )
+            self._insight_queries_family = registry.counter(
+                "repro_insight_queries_total",
+                "Finished queries folded into each insight cohort.",
+                labels=("cohort",),
+            )
 
     def _register_slo_metrics(self) -> None:
         """One long-window burn-rate gauge per objective (scrape-time)."""
@@ -380,6 +411,28 @@ class QueryService:
             good = self._completed
             total = self._completed + self._failed + self._timed_out
         return float(good), float(total)
+
+    def _bridge_insight_cohort(self, key: str) -> None:
+        """First sight of a cohort: attach its /metricsz callbacks.
+
+        Runs once per cohort (cardinality is bounded by the |Q|
+        bucketing), off the hub's lock; scrapes read the hub directly.
+        """
+        self._insight_queries_family.attach_callback(
+            lambda k=key: float(self.insight.cohort_count_of(k)), cohort=key
+        )
+        for q in DIGEST_QUANTILES:
+            self._insight_latency_family.attach_callback(
+                lambda k=key, q=q: self.insight.latency_quantile(k, q),
+                cohort=key,
+                quantile=f"{q:g}",
+            )
+
+    def insight_report(self) -> dict:
+        """The ``/insightz`` payload: live per-cohort rolling digests."""
+        if self.insight is None:
+            return {"enabled": False}
+        return self.insight.report()
 
     def _on_stall(self, entry) -> None:
         """Watchdog trigger: one forced flight dump per stalled query."""
@@ -616,26 +669,38 @@ class QueryService:
             label = "failed"
         else:
             label = "completed"
+        if isinstance(outcome, BaseException):
+            stats = None
+            counters = (
+                {
+                    k: v
+                    for k, v in span.totals().items()
+                    if isinstance(v, (int, float))
+                }
+                if span is not None
+                else {}
+            )
+            error = f"{type(outcome).__name__}: {outcome}"
+        else:
+            # The same QueryStats object the client response
+            # carries — event-vs-stats reconciliation is exact by
+            # construction, not by parallel bookkeeping.
+            stats = outcome.stats
+            counters = stats.counter_fields()
+            error = None
+        if self.insight is not None:
+            # Same cohort vocabulary and same counters the wide event
+            # carries, so live /insightz digests and offline analysis
+            # of the event log describe the same populations.
+            self.insight.observe(
+                algorithm=request.algorithm,
+                backend=stats.distance_backend if stats is not None else "",
+                query_count=len(request.queries),
+                outcome=label,
+                latency_s=latency_s,
+                counters=counters,
+            )
         if self.events is not None:
-            if isinstance(outcome, BaseException):
-                stats = None
-                counters = (
-                    {
-                        k: v
-                        for k, v in span.totals().items()
-                        if isinstance(v, (int, float))
-                    }
-                    if span is not None
-                    else {}
-                )
-                error = f"{type(outcome).__name__}: {outcome}"
-            else:
-                # The same QueryStats object the client response
-                # carries — event-vs-stats reconciliation is exact by
-                # construction, not by parallel bookkeeping.
-                stats = outcome.stats
-                counters = stats.counter_fields()
-                error = None
             self.events.emit(
                 wide_event(
                     request_id=request.request_id,

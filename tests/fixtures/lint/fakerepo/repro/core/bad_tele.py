@@ -15,5 +15,12 @@ def profile():
         tracing.record("samples_taken")  # EXPECT: REPRO-TELE01
 
 
+def analyze():
+    # Insight-plane names are vocabulary too; these are not in it.
+    with tracing.span("insight.bogus"):  # EXPECT: REPRO-TELE02
+        return None
+
+
 def register(registry):
     registry.counter("repro_bogus_total", "a family nobody scrapes")  # EXPECT: REPRO-TELE03
+    registry.gauge("repro_insight_bogus_seconds", "unregistered")  # EXPECT: REPRO-TELE03

@@ -20,6 +20,7 @@ from repro.core.stats import SPAN_COUNTER_FIELDS, QueryStats
 from repro.obs.events import (
     WIDE_EVENT_VERSION,
     EventLog,
+    EventReader,
     iter_events,
     read_events,
     wide_event,
@@ -234,6 +235,144 @@ class TestServiceReconciliation:
             assert event["batch_id"] is not None
             assert event["latency_s"] >= event["span_duration_s"] * 0.0
             assert event["trace_id"] == stats.trace_id
+
+
+def _write_log(path: str, count: int, start: int = 0) -> None:
+    with EventLog(path) as log:
+        for i in range(start, start + count):
+            log.emit(
+                wide_event(request_id=i, algorithm="LBC", outcome="completed")
+            )
+        log.flush()
+
+
+class TestCrashTolerantReading:
+    """A reader must survive what a crashing writer leaves behind."""
+
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        # A crash mid-write leaves a partial last record; iteration used
+        # to abort with JSONDecodeError right there.
+        path = str(tmp_path / "events.jsonl")
+        _write_log(path, 5)
+        with open(path, encoding="utf-8") as handle:
+            full = handle.read()
+        last = full.rstrip("\n").rsplit("\n", 1)[-1]
+        truncated = full[: len(full) - len(last) // 2 - 1]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(truncated)
+        reader = iter_events(path)
+        events = list(reader)
+        assert [e["request_id"] for e in events] == [0, 1, 2, 3]
+        assert reader.corrupt_lines == 1
+
+    def test_corrupt_middle_line_is_skipped_and_counted(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        _write_log(path, 4)
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[1] = "{not json at all\n"
+        lines[2] = '"a bare string, not an object"\n'
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        reader = iter_events(path)
+        events = list(reader)
+        assert [e["request_id"] for e in events] == [0, 3]
+        assert reader.corrupt_lines == 2
+
+    def test_clean_log_reports_zero_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        _write_log(path, 3)
+        reader = iter_events(path)
+        assert len(list(reader)) == 3
+        assert reader.corrupt_lines == 0
+
+    def test_missing_log_yields_nothing(self, tmp_path):
+        reader = iter_events(str(tmp_path / "nope.jsonl"))
+        assert list(reader) == []
+        assert reader.corrupt_lines == 0
+
+
+class TestRotatedGenerationReading:
+    """Reading across ``path.N … path.1, path`` oldest-first."""
+
+    def _rotated_log(self, tmp_path) -> str:
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, rotate_bytes=600, rotate_keep=3)
+        for i in range(40):
+            log.emit(
+                wide_event(request_id=i, algorithm="LBC", outcome="completed")
+            )
+        log.close()
+        assert log.rotations >= 2
+        return path
+
+    def test_generations_read_oldest_first(self, tmp_path):
+        path = self._rotated_log(tmp_path)
+        reader = iter_events(path)
+        ids = [e["request_id"] for e in reader]
+        assert ids == sorted(ids)
+        assert ids[-1] == 39
+        assert reader.files_read >= 3
+        assert reader.corrupt_lines == 0
+
+    def test_include_rotated_false_reads_only_the_live_file(self, tmp_path):
+        path = self._rotated_log(tmp_path)
+        live = [
+            e["request_id"]
+            for e in iter_events(path, include_rotated=False)
+        ]
+        everything = [e["request_id"] for e in iter_events(path)]
+        assert live == everything[-len(live):]
+        assert len(live) < len(everything)
+        # The live slice is exactly what the un-rotated file holds.
+        with open(path, encoding="utf-8") as handle:
+            assert len(live) == sum(1 for line in handle if line.strip())
+
+    def test_rotation_racing_the_reader_skips_vanished_generations(
+        self, tmp_path
+    ):
+        # Between listing generations and opening one, the writer can
+        # rotate it away (path.2 -> path.3 beyond rotate_keep); a
+        # vanished file must be skipped, not raised.
+        path = self._rotated_log(tmp_path)
+        reader = EventReader(path)
+        listed = reader._paths()
+        victim = listed[0]  # the oldest rotated generation
+        os.remove(victim)
+        reader._paths = lambda: listed  # freeze the pre-race listing
+        ids = [e["request_id"] for e in reader]
+        assert ids == sorted(ids)  # surviving generations, still ordered
+        assert ids[-1] == 39
+        assert reader.files_read == len(listed) - 1
+
+    def test_corrupt_lines_accumulate_across_generations(self, tmp_path):
+        path = self._rotated_log(tmp_path)
+        # Damage one line in a rotated generation and one in the live file.
+        for target in (f"{path}.1", path):
+            with open(target, encoding="utf-8") as handle:
+                lines = handle.readlines()
+            lines[0] = "{broken\n"
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.writelines(lines)
+        reader = iter_events(path)
+        list(reader)
+        assert reader.corrupt_lines == 2
+
+
+class TestEventLogQueueDepth:
+    def test_queue_depth_property_tracks_the_writer_backlog(self, tmp_path):
+        log = SlowWriterLog(str(tmp_path / "events.jsonl"), queue_limit=8)
+        assert log.queue_depth == 0
+        for i in range(6):
+            log.emit(
+                wide_event(request_id=i, algorithm="LBC", outcome="completed")
+            )
+        # The wedged writer holds one record; the rest sit in the queue.
+        assert log.queue_depth >= 4
+        assert log.queue_depth == log.stats()["queue_depth"]
+        log.release.set()
+        log.close()
+        assert log.queue_depth == 0
 
 
 class TestCounterFields:
